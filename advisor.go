@@ -1,0 +1,37 @@
+package sits
+
+import (
+	"github.com/sitstats/sits/internal/advisor"
+	"github.com/sitstats/sits/internal/cardest"
+)
+
+// Advisor proposes which SITs to create for a query workload under a
+// creation-cost budget (an extension beyond the paper; see package advisor).
+type Advisor = advisor.Advisor
+
+// AdvisorConfig tunes candidate enumeration and scoring.
+type AdvisorConfig = advisor.Config
+
+// SITCandidate is one proposed SIT with benefit and creation-cost estimates.
+type SITCandidate = advisor.Candidate
+
+// DefaultAdvisorConfig returns the default advisor configuration.
+func DefaultAdvisorConfig() AdvisorConfig { return advisor.DefaultConfig() }
+
+// NewAdvisor creates an advisor over the builder's catalog.
+func NewAdvisor(b *Builder, cfg AdvisorConfig) (*Advisor, error) { return advisor.New(b, cfg) }
+
+// SelectCandidates greedily picks candidates by benefit density within the
+// creation budget.
+func SelectCandidates(cands []SITCandidate, budget float64) []SITCandidate {
+	return advisor.Select(cands, budget)
+}
+
+// CreationTasks converts selected chain-shaped candidates into schedulable
+// SIT tasks; bushier candidates are returned for direct builds.
+func CreationTasks(selected []SITCandidate) ([]SITTask, []SITSpec) {
+	return advisor.CreationTasks(selected)
+}
+
+// Workload is a set of SPJ queries driving advisor-based SIT selection.
+type Workload = []cardest.SPJQuery

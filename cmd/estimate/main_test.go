@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePreds(t *testing.T) {
+	preds, err := parsePreds("T2.a:1:100, T2.b:5:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 || preds[0].Table != "T2" || preds[0].Attr != "a" || preds[0].Lo != 1 || preds[0].Hi != 100 {
+		t.Errorf("preds = %+v", preds)
+	}
+	if got, err := parsePreds("  "); err != nil || got != nil {
+		t.Errorf("empty preds = %v, %v", got, err)
+	}
+	for _, bad := range []string{"T2.a:1", "noattr:1:2", "T2.a:x:2", "T2.a:1:y", "T2.:1:2"} {
+		if _, err := parsePreds(bad); err == nil {
+			t.Errorf("parsePreds(%q): want error", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	statsFile := filepath.Join(dir, "stats.json")
+	// Build + estimate + save.
+	err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:100",
+		"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweepfull", "", statsFile, "", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(statsFile); err != nil {
+		t.Fatalf("stats file not written: %v", err)
+	}
+	// Load the saved SITs and estimate again.
+	err = run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:100", "", "sweep", statsFile, "", "", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", "sweep", "", "", "", false, 1); err == nil {
+		t.Error("missing query: want error")
+	}
+	if err := run("not a query ON", "", "", "sweep", "", "", "", false, 1); err == nil {
+		t.Error("bad query: want error")
+	}
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "bad", "", "sweep", "", "", "", false, 1); err == nil {
+		t.Error("bad predicate: want error")
+	}
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "zz", "sweep", "", "", "", false, 1); err == nil {
+		t.Error("bad build spec: want error")
+	}
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "bogus", "", "", "", false, 1); err == nil {
+		t.Error("bad method: want error")
+	}
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "", "sweep", "/no/such/file.json", "", "", false, 1); err == nil {
+		t.Error("missing sits file: want error")
+	}
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:2,T2.b:1:2", "", "sweep", "", "", "", true, 1); err == nil {
+		t.Error("-truth with two predicates: want error")
+	}
+}

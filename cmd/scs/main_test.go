@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"abdc", "bca"}, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"abdc", "bca"}, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeparator(t *testing.T) {
+	if err := run([]string{"T1,T2,T3", "T2,T4"}, ",", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWeighted(t *testing.T) {
+	if err := run([]string{"ab", "ba"}, "", "a=1,b=5", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, "", "", false); err == nil {
+		t.Error("no sequences: want error")
+	}
+	if err := run([]string{"ab"}, "", "a=x", false); err == nil {
+		t.Error("bad cost value: want error")
+	}
+	if err := run([]string{"ab"}, "", "nocost", false); err == nil {
+		t.Error("bad cost entry: want error")
+	}
+	if err := run([]string{"ab"}, "", "a=1", false); err == nil {
+		t.Error("missing symbol cost: want error")
+	}
+}

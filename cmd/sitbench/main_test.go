@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("20,50,100")
+	if err != nil || len(got) != 3 || got[0] != 20 || got[2] != 100 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("20,x"); err == nil {
+		t.Error("bad list: want error")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Error("non-positive: want error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 10, "", 1, 4, 3, 5, 1e6, 10, 0, 1); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestRunBadBuckets(t *testing.T) {
+	if err := run("fig7", 10, "1,x", 1, 4, 3, 5, 1e6, 10, 0, 1); err == nil {
+		t.Error("bad buckets list: want error")
+	}
+}
+
+// TestRunTinySweeps exercises the experiment plumbing end to end with tiny
+// parameters (few queries, few instances, small instances).
+func TestRunTinySweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure plumbing")
+	}
+	if err := run("fig9", 10, "", 2, 4, 3, 6, 100000, 50, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/sitstats/sits"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]sits.Method{
+		"histsit":     sits.HistSIT,
+		"Hist-SIT":    sits.HistSIT,
+		"sweep":       sits.Sweep,
+		"SWEEPINDEX":  sits.SweepIndex,
+		"sweepfull":   sits.SweepFull,
+		"sweepexact":  sits.SweepExact,
+		"materialize": sits.Materialize,
+	}
+	for name, want := range cases {
+		got, err := parseMethod(name)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("unknown method: want error")
+	}
+}
+
+func TestRunOnGeneratedData(t *testing.T) {
+	err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweep", 50, 0.1, "", true, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "sweep", 50, 0.1, "", false, 10, 1); err == nil {
+		t.Error("missing spec: want error")
+	}
+	if err := run("not a spec", "sweep", 50, 0.1, "", false, 10, 1); err == nil {
+		t.Error("bad spec: want error")
+	}
+	if err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "bogus", 50, 0.1, "", false, 10, 1); err == nil {
+		t.Error("bad method: want error")
+	}
+	if err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweep", 50, 0.1, "/nonexistent", false, 10, 1); err == nil {
+		t.Error("missing CSV dir: want error")
+	}
+}
+
+func TestRunOnCSV(t *testing.T) {
+	dir := t.TempDir()
+	r, err := sits.NewTable("R", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sits.NewTable("S", "y", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		r.AppendRow(i % 20)
+		s.AppendRow(i%20, i%50)
+	}
+	if err := sits.WriteCSVFile(r, filepath.Join(dir, "R.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sits.WriteCSVFile(s, filepath.Join(dir, "S.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("S.a | R JOIN S ON R.x = S.y", "sweepexact", 100, 0.1, dir, true, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sits_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/sitstats/sits"
+)
+
+// ExampleBuilder_Build creates a SIT over a join expression with SweepExact
+// and estimates a range cardinality from it.
+func ExampleBuilder_Build() {
+	cat := sits.NewCatalog()
+	r, err := sits.NewTable("R", "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sits.NewTable("S", "y", "a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		r.AppendRow(i % 10)
+		s.AppendRow(i%10, i%20)
+	}
+	cat.MustAdd(r)
+	cat.MustAdd(s)
+
+	builder, err := sits.NewBuilder(cat, sits.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := sits.ParseSIT("S.a | R JOIN S ON R.x = S.y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat, err := builder.Build(spec, sits.SweepExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|R join S| = %.0f\n", stat.EstimatedCard)
+	fmt.Printf("|sigma_{0<=a<=9}(R join S)| = %.0f\n", stat.EstimateRange(0, 9))
+	// Output:
+	// |R join S| = 1000
+	// |sigma_{0<=a<=9}(R join S)| = 500
+}
+
+// ExampleOptSchedule schedules the paper's Example 6 instance: three
+// dependency sequences sharing scans under a memory budget.
+func ExampleOptSchedule() {
+	tasks := []sits.ScheduleTask{
+		{ID: "chain", Seq: []string{"T", "S", "R"}},
+		{ID: "left", Seq: []string{"S", "R"}},
+		{ID: "right", Seq: []string{"U", "R"}},
+	}
+	env := sits.ScheduleEnv{
+		Cost:       map[string]float64{"R": 10, "S": 10, "T": 20, "U": 20},
+		SampleSize: map[string]float64{"R": 10000, "S": 10000, "T": 10000, "U": 10000},
+		Memory:     50000,
+	}
+	schedule, _, err := sits.OptSchedule(tasks, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal cost: %.0f in %d scans\n", schedule.Cost, len(schedule.Steps))
+	// Output:
+	// optimal cost: 60 in 4 scans
+}
+
+// ExampleParseSIT shows the textual SIT notation.
+func ExampleParseSIT() {
+	spec, err := sits.ParseSIT("T.a | R JOIN S ON R.x = S.y JOIN T ON S.z = T.w")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(spec.String())
+	fmt.Println(spec.Table, spec.Attr, spec.Expr.NumTables())
+	// Output:
+	// SIT(T.a | R JOIN S ON R.x = S.y JOIN T ON S.z = T.w)
+	// T a 3
+}

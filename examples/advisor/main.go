@@ -1,0 +1,133 @@
+// Advisor walkthrough: the full SIT lifecycle. A query workload is analyzed
+// for SIT candidates, a creation-cost budget picks a subset, the scheduler
+// plans their creation with shared scans (Section 4), the builder executes
+// the plan (Section 3), and the resulting SITs are registered with the
+// cardinality estimator — whose workload estimates improve measurably.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/sitstats/sits"
+)
+
+func main() {
+	cat, err := sits.GenerateChainDB(sits.DefaultChainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder, err := sits.NewBuilder(cat, sits.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A workload of SPJ queries over the chain schema, with range predicates
+	// on the correlated attribute "a".
+	join2, err := sits.ParseExpr("T1 JOIN T2 ON T1.jnext = T2.jprev")
+	if err != nil {
+		log.Fatal(err)
+	}
+	join3, err := sits.ParseExpr(
+		"T1 JOIN T2 ON T1.jnext = T2.jprev JOIN T3 ON T2.jnext = T3.jprev")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := sits.Workload{
+		{Expr: join2, Preds: []sits.Predicate{{Table: "T2", Attr: "a", Lo: 1, Hi: 200}}},
+		{Expr: join2, Preds: []sits.Predicate{{Table: "T2", Attr: "a", Lo: 500, Hi: 900}}},
+		{Expr: join3, Preds: []sits.Predicate{{Table: "T3", Attr: "a", Lo: 1, Hi: 400}}},
+	}
+
+	// 1. Enumerate and score candidates.
+	adv, err := sits.NewAdvisor(builder, sits.DefaultAdvisorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands, err := adv.Candidates(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidates (by benefit density):")
+	for _, c := range cands {
+		fmt.Printf("  %-70s benefit %6.2f cost %6.2f (queries %v)\n",
+			c.Spec.String(), c.Benefit, c.Cost, c.Queries)
+	}
+
+	// 2. Pick a set under a creation budget.
+	const budget = 4.0
+	selected := sits.SelectCandidates(cands, budget)
+	fmt.Printf("\nselected %d candidate(s) under budget %.1f\n", len(selected), budget)
+
+	// 3. Schedule their creation with shared scans and execute.
+	tasks, direct := sits.CreationTasks(selected)
+	env := sits.ScheduleEnv{Cost: map[string]float64{}, SampleSize: map[string]float64{}}
+	for _, n := range cat.Names() {
+		tab, _ := cat.Table(n)
+		env.Cost[n] = float64(tab.NumRows()) / 1000
+		env.SampleSize[n] = 0.1 * float64(tab.NumRows())
+	}
+	env.Memory = 3 * env.SampleSize["T2"]
+	schedule, _, err := sits.OptSchedule(sits.ScheduleTasks(tasks), env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	built, err := sits.ExecuteSchedule(schedule, tasks, builder, sits.Sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, spec := range direct { // bushy candidates, if any
+		s, err := builder.Build(spec, sits.Sweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		built = append(built, s)
+	}
+	fmt.Printf("created %d SIT(s) with schedule cost %.2f (%d scans)\n",
+		len(built), schedule.Cost, len(schedule.Steps))
+
+	// 4. Register with the estimator and measure the improvement.
+	before, err := sits.NewEstimator(builder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := sits.NewEstimator(builder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range built {
+		if err := after.Register(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nworkload estimates (true vs base-histograms vs with SITs):")
+	for i, q := range workload {
+		p := q.Preds[0]
+		truth, err := sits.GroundTruth(cat, q.Expr, p.Table, p.Attr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := float64(truth.Count(sits.RangeQuery{Lo: p.Lo, Hi: p.Hi}))
+		b, err := before.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := after.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Q%d: true %8.0f | base %8.0f (err %5.1f%%) | SIT %8.0f (err %5.1f%%)\n",
+			i+1, actual, b.Cardinality, relErr(actual, b.Cardinality), a.Cardinality, relErr(actual, a.Cardinality))
+	}
+}
+
+func relErr(actual, est float64) float64 {
+	den := actual
+	if den < 1 {
+		den = 1
+	}
+	return 100 * math.Abs(actual-est) / den
+}

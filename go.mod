@@ -1,0 +1,3 @@
+module github.com/sitstats/sits
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package advisor proposes which SITs to create for a given query workload,
+// under a creation-cost budget. The paper's companion work ([2], reviewed in
+// Section 2.2) selects SITs with a workload-driven MNSA-style analysis; this
+// package implements a simplified, self-contained stand-in so the library
+// covers the full lifecycle — enumerate candidates from the workload, score
+// them, pick a set under a budget, schedule their creation (package sched)
+// and build them (package sit). It is an extension beyond the paper's scope
+// and is flagged as such in DESIGN.md.
+//
+// Candidate enumeration: every range predicate T.a of every workload query
+// contributes SIT(T.a | E) for each connected sub-expression E of the query's
+// join expression that contains T and at least one join. Scoring: a heuristic
+// benefit combining how many workload queries the SIT applies to, how many
+// joins its expression spans (more joins mean more propagation steps
+// avoided), and the estimated cardinality amplification between the base
+// table and the expression's result (big intermediate results are where
+// propagated estimates drift). Selection: greedy by benefit density until the
+// budget is spent.
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sitstats/sits/internal/cardest"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sched"
+	"github.com/sitstats/sits/internal/sit"
+)
+
+// Config tunes candidate enumeration and scoring.
+type Config struct {
+	// MaxJoinTables caps the size of candidate generating expressions
+	// (default 4).
+	MaxJoinTables int
+	// CostPerRow converts scanned rows to creation-cost units (default
+	// 1/1000, the paper's Cost(T) = |T|/1000).
+	CostPerRow float64
+}
+
+// DefaultConfig returns the default advisor configuration.
+func DefaultConfig() Config {
+	return Config{MaxJoinTables: 4, CostPerRow: 1.0 / 1000}
+}
+
+// Candidate is one proposed SIT with its estimated benefit and creation cost.
+type Candidate struct {
+	Spec query.SITSpec
+	// Queries lists the workload indices the SIT applies to.
+	Queries []int
+	// Benefit is the heuristic usefulness score (higher is better).
+	Benefit float64
+	// Cost is the estimated creation cost: the summed scan costs of the
+	// SIT's dependency sequences.
+	Cost float64
+}
+
+// Advisor enumerates and scores SIT candidates over a builder's catalog.
+type Advisor struct {
+	b   *sit.Builder
+	cfg Config
+}
+
+// New creates an advisor.
+func New(b *sit.Builder, cfg Config) (*Advisor, error) {
+	if b == nil {
+		return nil, fmt.Errorf("advisor: New needs a builder")
+	}
+	if cfg.MaxJoinTables < 2 {
+		return nil, fmt.Errorf("advisor: MaxJoinTables %d must be at least 2", cfg.MaxJoinTables)
+	}
+	if cfg.CostPerRow <= 0 {
+		return nil, fmt.Errorf("advisor: CostPerRow must be positive")
+	}
+	return &Advisor{b: b, cfg: cfg}, nil
+}
+
+// Candidates enumerates and scores the SIT candidates for the workload,
+// sorted by benefit density (benefit/cost) descending.
+func (a *Advisor) Candidates(workload []cardest.SPJQuery) ([]Candidate, error) {
+	byKey := map[string]*Candidate{}
+	for qi, q := range workload {
+		if q.Expr == nil {
+			return nil, fmt.Errorf("advisor: workload query %d has no expression", qi)
+		}
+		for _, p := range q.Preds {
+			if !q.Expr.HasTable(p.Table) {
+				return nil, fmt.Errorf("advisor: workload query %d predicate on %s.%s outside its expression",
+					qi, p.Table, p.Attr)
+			}
+			subs, err := q.Expr.ConnectedSubExprs(p.Table, a.cfg.MaxJoinTables)
+			if err != nil {
+				return nil, err
+			}
+			for _, sub := range subs {
+				spec, err := query.NewSITSpec(p.Table, p.Attr, sub)
+				if err != nil {
+					return nil, err
+				}
+				key := spec.Canonical()
+				c, ok := byKey[key]
+				if !ok {
+					cost, err := a.creationCost(spec)
+					if err != nil {
+						return nil, err
+					}
+					benefit, err := a.benefit(spec)
+					if err != nil {
+						return nil, err
+					}
+					c = &Candidate{Spec: spec, Cost: cost, Benefit: 0}
+					c.Benefit = benefit
+					byKey[key] = c
+				}
+				if len(c.Queries) == 0 || c.Queries[len(c.Queries)-1] != qi {
+					c.Queries = append(c.Queries, qi)
+				}
+			}
+		}
+	}
+	out := make([]Candidate, 0, len(byKey))
+	for _, c := range byKey {
+		// Applicability multiplier: a SIT matching many workload queries
+		// amortizes its creation cost.
+		c.Benefit *= float64(len(c.Queries))
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := out[i].Benefit / out[i].Cost
+		dj := out[j].Benefit / out[j].Cost
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Spec.Canonical() < out[j].Spec.Canonical() // deterministic
+	})
+	return out, nil
+}
+
+// benefit scores a candidate: join count times the log-scale amplification of
+// the expression's estimated result over the SIT attribute's base table.
+func (a *Advisor) benefit(spec query.SITSpec) (float64, error) {
+	joins := float64(len(spec.Expr.Joins()))
+	card, err := a.b.EstimateJoinCard(spec.Expr)
+	if err != nil {
+		return 0, err
+	}
+	base, err := a.b.Catalog().Table(spec.Table)
+	if err != nil {
+		return 0, err
+	}
+	amp := 1.0
+	if n := float64(base.NumRows()); n > 0 && card > n {
+		amp = card / n
+	}
+	return joins * math.Log2(1+amp), nil
+}
+
+// creationCost sums the scan costs of the spec's dependency sequences.
+func (a *Advisor) creationCost(spec query.SITSpec) (float64, error) {
+	seqs, err := spec.DependencySequences()
+	if err != nil {
+		return 0, err
+	}
+	cost := 0.0
+	for _, seq := range seqs {
+		for _, table := range seq {
+			t, err := a.b.Catalog().Table(table)
+			if err != nil {
+				return 0, err
+			}
+			cost += a.cfg.CostPerRow * float64(t.NumRows())
+		}
+	}
+	if cost <= 0 {
+		cost = a.cfg.CostPerRow // base statistics are nearly free but not free
+	}
+	return cost, nil
+}
+
+// Select greedily picks candidates by benefit density until the creation
+// budget is exhausted. Candidates must be sorted as returned by Candidates.
+func Select(cands []Candidate, budget float64) []Candidate {
+	var out []Candidate
+	remaining := budget
+	for _, c := range cands {
+		if c.Cost <= remaining {
+			out = append(out, c)
+			remaining -= c.Cost
+		}
+	}
+	return out
+}
+
+// CreationTasks converts selected chain-shaped candidates into schedulable
+// SIT tasks; bushier candidates are returned separately for direct builds.
+func CreationTasks(selected []Candidate) (tasks []sched.SITTask, direct []query.SITSpec) {
+	for _, c := range selected {
+		st, err := sched.NewSITTask(c.Spec)
+		if err != nil {
+			direct = append(direct, c.Spec)
+			continue
+		}
+		tasks = append(tasks, st)
+	}
+	return tasks, direct
+}

@@ -1,0 +1,250 @@
+package advisor
+
+import (
+	"testing"
+
+	"github.com/sitstats/sits/internal/cardest"
+	"github.com/sitstats/sits/internal/datagen"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sched"
+	"github.com/sitstats/sits/internal/sit"
+)
+
+func chainWorkload(t *testing.T) (*sit.Builder, []cardest.SPJQuery) {
+	t.Helper()
+	cfg := datagen.DefaultChainConfig()
+	cfg.Rows = []int{800, 600, 500, 400}
+	cat, err := datagen.ChainDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sit.NewBuilder(cat, sit.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := query.Chain([]string{"T1", "T2"}, []string{"jnext"}, []string{"jprev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := query.Chain([]string{"T1", "T2", "T3"}, []string{"jnext", "jnext"}, []string{"jprev", "jprev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []cardest.SPJQuery{
+		{Expr: e2, Preds: []cardest.Predicate{{Table: "T2", Attr: "a", Lo: 1, Hi: 100}}},
+		{Expr: e3, Preds: []cardest.Predicate{{Table: "T3", Attr: "a", Lo: 1, Hi: 100}}},
+		{Expr: e2, Preds: []cardest.Predicate{{Table: "T2", Attr: "a", Lo: 200, Hi: 300}}},
+	}
+	return b, w
+}
+
+func TestNewValidation(t *testing.T) {
+	b, _ := chainWorkload(t)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil builder: want error")
+	}
+	bad := DefaultConfig()
+	bad.MaxJoinTables = 1
+	if _, err := New(b, bad); err == nil {
+		t.Error("MaxJoinTables=1: want error")
+	}
+	bad = DefaultConfig()
+	bad.CostPerRow = 0
+	if _, err := New(b, bad); err == nil {
+		t.Error("CostPerRow=0: want error")
+	}
+}
+
+func TestCandidatesEnumeration(t *testing.T) {
+	b, w := chainWorkload(t)
+	a, err := New(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := a.Candidates(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The 3-way query should yield SIT(T3.a | T2⋈T3) and SIT(T3.a | T1⋈T2⋈T3).
+	byKey := map[string]Candidate{}
+	for _, c := range cands {
+		byKey[c.Spec.Canonical()] = c
+		if c.Cost <= 0 || c.Benefit <= 0 {
+			t.Errorf("candidate %s has cost %v benefit %v", c.Spec.String(), c.Cost, c.Benefit)
+		}
+	}
+	sub, _ := query.NewExpr(query.JoinPred{LeftTable: "T2", LeftAttr: "jnext", RightTable: "T3", RightAttr: "jprev"})
+	subSpec, _ := query.NewSITSpec("T3", "a", sub)
+	if _, ok := byKey[subSpec.Canonical()]; !ok {
+		t.Errorf("missing sub-expression candidate %s", subSpec.String())
+	}
+	full := w[1].Expr
+	fullSpec, _ := query.NewSITSpec("T3", "a", full)
+	if _, ok := byKey[fullSpec.Canonical()]; !ok {
+		t.Errorf("missing full-expression candidate %s", fullSpec.String())
+	}
+	// SIT(T2.a | T1⋈T2) is shared by queries 0 and 2.
+	shared, _ := query.NewSITSpec("T2", "a", w[0].Expr)
+	c, ok := byKey[shared.Canonical()]
+	if !ok {
+		t.Fatalf("missing shared candidate %s", shared.String())
+	}
+	if len(c.Queries) != 2 {
+		t.Errorf("shared candidate applies to %v, want 2 queries", c.Queries)
+	}
+	// Sorted by benefit density descending.
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Benefit/cands[i-1].Cost < cands[i].Benefit/cands[i].Cost-1e-12 {
+			t.Errorf("candidates not sorted by density at %d", i)
+		}
+	}
+}
+
+func TestCandidatesValidation(t *testing.T) {
+	b, w := chainWorkload(t)
+	a, err := New(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Candidates([]cardest.SPJQuery{{}}); err == nil {
+		t.Error("nil expr: want error")
+	}
+	bad := w[0]
+	bad.Preds = []cardest.Predicate{{Table: "ZZ", Attr: "a"}}
+	if _, err := a.Candidates([]cardest.SPJQuery{bad}); err == nil {
+		t.Error("predicate outside expr: want error")
+	}
+}
+
+func TestMaxJoinTablesCap(t *testing.T) {
+	b, w := chainWorkload(t)
+	cfg := DefaultConfig()
+	cfg.MaxJoinTables = 2
+	a, err := New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := a.Candidates(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Spec.Expr.NumTables() > 2 {
+			t.Errorf("candidate %s exceeds the table cap", c.Spec.String())
+		}
+	}
+}
+
+func TestSelectBudget(t *testing.T) {
+	cands := []Candidate{
+		{Benefit: 10, Cost: 5},
+		{Benefit: 6, Cost: 4},
+		{Benefit: 1, Cost: 2},
+	}
+	sel := Select(cands, 7)
+	if len(sel) != 2 || sel[0].Cost != 5 || sel[1].Cost != 2 {
+		t.Errorf("Select = %+v", sel)
+	}
+	if got := Select(cands, 0); got != nil {
+		t.Errorf("zero budget = %+v", got)
+	}
+	total := 0.0
+	for _, c := range Select(cands, 100) {
+		total += c.Cost
+	}
+	if total != 11 {
+		t.Errorf("unbounded budget picked cost %v", total)
+	}
+}
+
+func TestCreationTasksSplit(t *testing.T) {
+	b, w := chainWorkload(t)
+	a, err := New(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := a.Candidates(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, direct := CreationTasks(cands)
+	if len(tasks) == 0 {
+		t.Fatal("no schedulable tasks")
+	}
+	if len(tasks)+len(direct) != len(cands) {
+		t.Errorf("tasks %d + direct %d != candidates %d", len(tasks), len(direct), len(cands))
+	}
+	// Chain candidates are all schedulable in this workload.
+	if len(direct) != 0 {
+		t.Errorf("unexpected direct builds: %v", direct)
+	}
+	_ = sched.Tasks(tasks)
+}
+
+// TestEndToEnd: advisor -> scheduler -> builder -> estimator improves the
+// workload's estimates.
+func TestEndToEnd(t *testing.T) {
+	b, w := chainWorkload(t)
+	a, err := New(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := a.Candidates(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected := Select(cands, 5.0) // enough for a couple of SITs
+	if len(selected) == 0 {
+		t.Fatal("budget selected nothing")
+	}
+	tasks, direct := CreationTasks(selected)
+	if len(direct) != 0 {
+		t.Fatalf("unexpected direct builds: %v", direct)
+	}
+	env := sched.Env{Cost: map[string]float64{}, SampleSize: map[string]float64{}, Memory: 0}
+	for _, name := range b.Catalog().Names() {
+		tab, err := b.Catalog().Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Cost[name] = float64(tab.NumRows()) / 1000
+		env.SampleSize[name] = 0.1 * float64(tab.NumRows())
+	}
+	schedule, _, err := sched.Opt(sched.Tasks(tasks), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := sched.Execute(schedule, tasks, b, sit.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cardest.New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range built {
+		if err := est.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every workload query whose predicate attribute got a SIT should now be
+	// answered from a SIT, not a base histogram.
+	improved := 0
+	for _, q := range w {
+		res, err := est.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range res.Sources {
+			if src.Tables > 1 {
+				improved++
+			}
+		}
+	}
+	if improved == 0 {
+		t.Error("no workload query used a SIT after advisor selection")
+	}
+}

@@ -1,0 +1,42 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTable(b *testing.B, rows int) *Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	t := MustNewTable("B", "x", "y", "a")
+	for i := 0; i < rows; i++ {
+		t.AppendRow(rng.Int63n(1000), rng.Int63n(1000), rng.Int63n(1000))
+	}
+	return t
+}
+
+// BenchmarkScan measures the sequential-scan throughput Sweep depends on.
+func BenchmarkScan(b *testing.B) {
+	t := benchTable(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := t.Scan("x", "a")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum int64
+		for sc.Next() {
+			sum += sc.Row()[0]
+		}
+		_ = sum
+	}
+	b.SetBytes(int64(t.NumRows() * 16))
+}
+
+func BenchmarkAppendRow(b *testing.B) {
+	t := MustNewTable("B", "x", "y")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.AppendRow(int64(i), int64(i))
+	}
+}

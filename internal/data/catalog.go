@@ -1,0 +1,98 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog maps table names to tables, mirroring a database schema catalog.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table. Adding a table whose name is already registered is
+// an error; use Replace to overwrite.
+func (c *Catalog) Add(t *Table) error {
+	if t == nil {
+		return fmt.Errorf("data: cannot add nil table")
+	}
+	if _, dup := c.tables[t.Name()]; dup {
+		return fmt.Errorf("data: catalog already has table %q", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (c *Catalog) MustAdd(t *Table) {
+	if err := c.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Replace registers a table, overwriting any table with the same name.
+func (c *Catalog) Replace(t *Table) {
+	c.tables[t.Name()] = t
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("data: catalog has no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table that panics on error.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Has reports whether a table with the given name is registered.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Names returns the sorted names of all registered tables.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int { return len(c.tables) }
+
+// TotalRows returns the sum of row counts over all tables; the paper's
+// scheduling experiments fix this to one million (Section 5.2).
+func (c *Catalog) TotalRows() int {
+	total := 0
+	for _, t := range c.tables {
+		total += t.NumRows()
+	}
+	return total
+}
+
+// Validate checks every table in the catalog.
+func (c *Catalog) Validate() error {
+	for _, name := range c.Names() {
+		if err := c.tables[name].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV. The first record must be a header with the
+// column names; every subsequent record must contain one base-10 int64 per
+// column. The table is named by the name argument.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header for %q: %w", name, err)
+	}
+	cols := make([]string, len(header))
+	copy(cols, header)
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]int64, len(cols))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV for %q line %d: %w", name, line, err)
+		}
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("data: CSV for %q line %d: got %d fields, want %d", name, line, len(rec), len(cols))
+		}
+		for i, field := range rec {
+			v, err := strconv.ParseInt(field, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV for %q line %d column %q: %w", name, line, cols[i], err)
+			}
+			row[i] = v
+		}
+		if err := t.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile loads a table from the CSV file at path; see ReadCSV.
+func ReadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	n := t.NumRows()
+	cols := make([][]int64, t.NumCols())
+	for i, name := range t.ColumnNames() {
+		c, err := t.Column(name)
+		if err != nil {
+			return err
+		}
+		cols[i] = c
+	}
+	rec := make([]string, len(cols))
+	for r := 0; r < n; r++ {
+		for i := range cols {
+			rec[i] = strconv.FormatInt(cols[i][r], 10)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table as CSV to the file at path.
+func WriteCSVFile(t *Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(t, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,265 @@
+// Package data implements the in-memory, column-oriented storage substrate
+// used throughout the repository. It stands in for the relational storage
+// engine of the RDBMS the paper's prototype ran on: it provides named tables
+// with typed (int64) columns, sequential scans over column subsets, and a
+// catalog that maps table names to tables.
+//
+// The Sweep family of SIT-creation algorithms only requires sequential scans
+// over pairs (join attribute, target attribute) and per-table cardinalities,
+// both of which this package provides. All attribute values are int64, which
+// matches the integer-domain synthetic data sets used in the paper's
+// evaluation (Section 5.1).
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column is a single named attribute of a table, stored contiguously.
+type Column struct {
+	Name string
+	Vals []int64
+}
+
+// Table is an in-memory relation with column-major storage. Tables are
+// append-only: rows are added with AppendRow and never removed, which mirrors
+// the read-mostly statistics-creation workload of the paper.
+type Table struct {
+	name   string
+	cols   []Column
+	byName map[string]int
+}
+
+// NewTable creates an empty table with the given column names. Column names
+// must be unique and non-empty.
+func NewTable(name string, columns ...string) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("data: table name must not be empty")
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("data: table %q must have at least one column", name)
+	}
+	t := &Table{
+		name:   name,
+		cols:   make([]Column, len(columns)),
+		byName: make(map[string]int, len(columns)),
+	}
+	for i, c := range columns {
+		if c == "" {
+			return nil, fmt.Errorf("data: table %q: column name must not be empty", name)
+		}
+		if _, dup := t.byName[c]; dup {
+			return nil, fmt.Errorf("data: table %q: duplicate column %q", name, c)
+		}
+		t.cols[i] = Column{Name: c}
+		t.byName[c] = i
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable that panics on error; intended for tests and
+// statically correct construction sites such as generators.
+func MustNewTable(name string, columns ...string) *Table {
+	t, err := NewTable(name, columns...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.cols[0].Vals)
+}
+
+// NumCols returns the number of columns in the table.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i := range t.cols {
+		names[i] = t.cols[i].Name
+	}
+	return names
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// Column returns the full value slice of the named column. The returned slice
+// is the table's backing storage and must not be modified by callers.
+func (t *Table) Column(name string) ([]int64, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("data: table %q has no column %q", t.name, name)
+	}
+	return t.cols[i].Vals, nil
+}
+
+// MustColumn is Column that panics on error.
+func (t *Table) MustColumn(name string) []int64 {
+	v, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// AppendRow appends one row. The number of values must equal the number of
+// columns, in declaration order.
+func (t *Table) AppendRow(vals ...int64) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("data: table %q: AppendRow got %d values, want %d", t.name, len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		t.cols[i].Vals = append(t.cols[i].Vals, v)
+	}
+	return nil
+}
+
+// SetColumn replaces the contents of the named column. All columns of a table
+// must have equal length once the table is used, which is validated by
+// Validate; SetColumn itself only checks the column exists.
+func (t *Table) SetColumn(name string, vals []int64) error {
+	i, ok := t.byName[name]
+	if !ok {
+		return fmt.Errorf("data: table %q has no column %q", t.name, name)
+	}
+	t.cols[i].Vals = vals
+	return nil
+}
+
+// Validate checks the structural invariants of the table: all columns have
+// the same length.
+func (t *Table) Validate() error {
+	n := t.NumRows()
+	for i := range t.cols {
+		if len(t.cols[i].Vals) != n {
+			return fmt.Errorf("data: table %q: column %q has %d rows, want %d",
+				t.name, t.cols[i].Name, len(t.cols[i].Vals), n)
+		}
+	}
+	return nil
+}
+
+// Row materializes row i as a fresh slice in column declaration order.
+// It is intended for tests and small result sets; scans should use Scanner.
+func (t *Table) Row(i int) ([]int64, error) {
+	if i < 0 || i >= t.NumRows() {
+		return nil, fmt.Errorf("data: table %q: row %d out of range [0,%d)", t.name, i, t.NumRows())
+	}
+	row := make([]int64, len(t.cols))
+	for c := range t.cols {
+		row[c] = t.cols[c].Vals[i]
+	}
+	return row, nil
+}
+
+// Scanner is a sequential scan over a subset of a table's columns. It is the
+// access path Sweep uses (Section 3.1 step 1 of the paper).
+type Scanner struct {
+	cols [][]int64
+	n    int
+	pos  int
+	row  []int64
+}
+
+// Scan returns a Scanner over the named columns in the given order.
+func (t *Table) Scan(columns ...string) (*Scanner, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("data: table %q: scan needs at least one column", t.name)
+	}
+	s := &Scanner{
+		cols: make([][]int64, len(columns)),
+		n:    t.NumRows(),
+		row:  make([]int64, len(columns)),
+	}
+	for i, c := range columns {
+		vals, err := t.Column(c)
+		if err != nil {
+			return nil, err
+		}
+		s.cols[i] = vals
+	}
+	return s, nil
+}
+
+// Next advances the scanner and reports whether a row is available.
+func (s *Scanner) Next() bool {
+	if s.pos >= s.n {
+		return false
+	}
+	for i := range s.cols {
+		s.row[i] = s.cols[i][s.pos]
+	}
+	s.pos++
+	return true
+}
+
+// Row returns the current row. The slice is reused across Next calls.
+func (s *Scanner) Row() []int64 { return s.row }
+
+// Reset rewinds the scanner to the first row.
+func (s *Scanner) Reset() { s.pos = 0 }
+
+// Remaining returns the number of rows not yet consumed.
+func (s *Scanner) Remaining() int { return s.n - s.pos }
+
+// MinMax returns the minimum and maximum values of the named column.
+// ok is false when the table is empty.
+func (t *Table) MinMax(column string) (minV, maxV int64, ok bool, err error) {
+	vals, err := t.Column(column)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if len(vals) == 0 {
+		return 0, 0, false, nil
+	}
+	minV, maxV = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return minV, maxV, true, nil
+}
+
+// DistinctCount returns the number of distinct values of the named column.
+func (t *Table) DistinctCount(column string) (int, error) {
+	vals, err := t.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[int64]struct{}, len(vals))
+	for _, v := range vals {
+		seen[v] = struct{}{}
+	}
+	return len(seen), nil
+}
+
+// SortedCopy returns a sorted copy of the named column; used by histogram
+// construction and the exact multiplicity index builder.
+func (t *Table) SortedCopy(column string) ([]int64, error) {
+	vals, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp, nil
+}

@@ -1,0 +1,279 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable("", "a"); err == nil {
+		t.Error("empty table name: want error")
+	}
+	if _, err := NewTable("R"); err == nil {
+		t.Error("no columns: want error")
+	}
+	if _, err := NewTable("R", "a", "a"); err == nil {
+		t.Error("duplicate column: want error")
+	}
+	if _, err := NewTable("R", "a", ""); err == nil {
+		t.Error("empty column name: want error")
+	}
+}
+
+func TestAppendAndColumn(t *testing.T) {
+	tab := MustNewTable("R", "x", "a")
+	if err := tab.AppendRow(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow(1); err == nil {
+		t.Error("short row: want error")
+	}
+	if got := tab.NumRows(); got != 2 {
+		t.Errorf("NumRows = %d, want 2", got)
+	}
+	x, err := tab.Column("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x, []int64{1, 2}) {
+		t.Errorf("column x = %v", x)
+	}
+	if _, err := tab.Column("nope"); err == nil {
+		t.Error("missing column: want error")
+	}
+	row, err := tab.Row(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, []int64{2, 20}) {
+		t.Errorf("Row(1) = %v", row)
+	}
+	if _, err := tab.Row(2); err == nil {
+		t.Error("row out of range: want error")
+	}
+}
+
+func TestScanner(t *testing.T) {
+	tab := MustNewTable("S", "y", "a", "b")
+	for i := int64(0); i < 5; i++ {
+		if err := tab.AppendRow(i, i*10, i*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc, err := tab.Scan("a", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int64
+	for sc.Next() {
+		r := sc.Row()
+		got = append(got, []int64{r[0], r[1]})
+	}
+	want := [][]int64{{0, 0}, {10, 1}, {20, 2}, {30, 3}, {40, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scan = %v, want %v", got, want)
+	}
+	if sc.Next() {
+		t.Error("exhausted scanner returned Next=true")
+	}
+	sc.Reset()
+	if sc.Remaining() != 5 {
+		t.Errorf("Remaining after Reset = %d, want 5", sc.Remaining())
+	}
+	if _, err := tab.Scan(); err == nil {
+		t.Error("scan with no columns: want error")
+	}
+	if _, err := tab.Scan("missing"); err == nil {
+		t.Error("scan with bad column: want error")
+	}
+}
+
+func TestMinMaxDistinctSorted(t *testing.T) {
+	tab := MustNewTable("R", "x")
+	for _, v := range []int64{5, -3, 5, 7, 0} {
+		if err := tab.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi, ok, err := tab.MinMax("x")
+	if err != nil || !ok {
+		t.Fatalf("MinMax: ok=%v err=%v", ok, err)
+	}
+	if lo != -3 || hi != 7 {
+		t.Errorf("MinMax = (%d,%d), want (-3,7)", lo, hi)
+	}
+	dv, err := tab.DistinctCount("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv != 4 {
+		t.Errorf("DistinctCount = %d, want 4", dv)
+	}
+	sorted, err := tab.SortedCopy("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sorted, []int64{-3, 0, 5, 5, 7}) {
+		t.Errorf("SortedCopy = %v", sorted)
+	}
+	// Original column is untouched.
+	x := tab.MustColumn("x")
+	if !reflect.DeepEqual(x, []int64{5, -3, 5, 7, 0}) {
+		t.Errorf("original column mutated: %v", x)
+	}
+
+	empty := MustNewTable("E", "x")
+	if _, _, ok, _ := empty.MinMax("x"); ok {
+		t.Error("MinMax of empty table: want ok=false")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tab := MustNewTable("R", "x", "y")
+	if err := tab.AppendRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Errorf("Validate on consistent table: %v", err)
+	}
+	if err := tab.SetColumn("y", []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err == nil {
+		t.Error("Validate with ragged columns: want error")
+	}
+	if err := tab.SetColumn("zz", nil); err == nil {
+		t.Error("SetColumn on missing column: want error")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	r := MustNewTable("R", "x")
+	s := MustNewTable("S", "y")
+	c.MustAdd(r)
+	c.MustAdd(s)
+	if err := c.Add(MustNewTable("R", "z")); err == nil {
+		t.Error("duplicate add: want error")
+	}
+	if err := c.Add(nil); err == nil {
+		t.Error("nil add: want error")
+	}
+	got, err := c.Table("R")
+	if err != nil || got != r {
+		t.Errorf("Table(R) = %v, %v", got, err)
+	}
+	if _, err := c.Table("T"); err == nil {
+		t.Error("missing table lookup: want error")
+	}
+	if !c.Has("S") || c.Has("T") {
+		t.Error("Has misreported membership")
+	}
+	if names := c.Names(); !reflect.DeepEqual(names, []string{"R", "S"}) {
+		t.Errorf("Names = %v", names)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if err := r.AppendRow(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalRows(); got != 1 {
+		t.Errorf("TotalRows = %d, want 1", got)
+	}
+	c.Replace(MustNewTable("R", "w"))
+	if c.MustTable("R").HasColumn("x") {
+		t.Error("Replace did not overwrite")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := MustNewTable("R", "x", "a")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if err := tab.AppendRow(rng.Int63n(1000)-500, rng.Int63()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("R", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.ColumnNames(), tab.ColumnNames()) {
+		t.Errorf("columns = %v", back.ColumnNames())
+	}
+	for _, col := range tab.ColumnNames() {
+		if !reflect.DeepEqual(back.MustColumn(col), tab.MustColumn(col)) {
+			t.Errorf("column %q differs after round trip", col)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("R", strings.NewReader("")); err == nil {
+		t.Error("empty CSV: want error")
+	}
+	if _, err := ReadCSV("R", strings.NewReader("x,y\n1\n")); err == nil {
+		t.Error("ragged CSV: want error")
+	}
+	if _, err := ReadCSV("R", strings.NewReader("x\nnotanint\n")); err == nil {
+		t.Error("non-integer CSV: want error")
+	}
+}
+
+// Property: scanning any generated table returns exactly the appended rows in
+// order, for arbitrary column selections.
+func TestScannerMatchesRowsQuick(t *testing.T) {
+	f := func(rows [][3]int64, pick uint8) bool {
+		tab := MustNewTable("Q", "a", "b", "c")
+		for _, r := range rows {
+			if err := tab.AppendRow(r[0], r[1], r[2]); err != nil {
+				return false
+			}
+		}
+		names := []string{"a", "b", "c"}
+		// Pick a non-empty column subset from the 3 columns.
+		var sel []string
+		for i := 0; i < 3; i++ {
+			if pick&(1<<i) != 0 {
+				sel = append(sel, names[i])
+			}
+		}
+		if len(sel) == 0 {
+			sel = []string{"b"}
+		}
+		sc, err := tab.Scan(sel...)
+		if err != nil {
+			return false
+		}
+		i := 0
+		for sc.Next() {
+			got := sc.Row()
+			for j, name := range sel {
+				want := rows[i][int(name[0]-'a')]
+				if got[j] != want {
+					return false
+				}
+			}
+			i++
+		}
+		return i == len(rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

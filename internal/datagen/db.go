@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sitstats/sits/internal/data"
+)
+
+// Distribution selects how an attribute's values are drawn.
+type Distribution int
+
+const (
+	// Uniform draws values uniformly from [1, Domain].
+	Uniform Distribution = iota
+	// Zipfian draws values from a generalized Zipf(Z) over [1, Domain].
+	Zipfian
+	// CorrelatedWith derives the attribute from another attribute of the same
+	// table plus uniform noise in [-Noise, +Noise].
+	CorrelatedWith
+)
+
+// AttrSpec describes one attribute of a synthetic table.
+type AttrSpec struct {
+	Name string
+	Dist Distribution
+	// Domain is the size of the value domain for Uniform and Zipfian.
+	Domain int
+	// Z is the Zipf exponent for Zipfian attributes.
+	Z float64
+	// Base names the source attribute for CorrelatedWith.
+	Base string
+	// Noise is the half-width of the uniform noise for CorrelatedWith.
+	Noise int
+	// Perm optionally fixes the Zipfian rank->value permutation (see
+	// NewZipfWithPerm); nil maps rank i to value i.
+	Perm []int64
+}
+
+// TableSpec describes one synthetic table.
+type TableSpec struct {
+	Name  string
+	Rows  int
+	Attrs []AttrSpec
+}
+
+// GenerateTable materializes a table from its spec using the given rng.
+// CorrelatedWith attributes may reference any attribute declared earlier in
+// the spec.
+func GenerateTable(rng *rand.Rand, spec TableSpec) (*data.Table, error) {
+	if spec.Rows < 0 {
+		return nil, fmt.Errorf("datagen: table %q: negative row count %d", spec.Name, spec.Rows)
+	}
+	names := make([]string, len(spec.Attrs))
+	for i, a := range spec.Attrs {
+		names[i] = a.Name
+	}
+	t, err := data.NewTable(spec.Name, names...)
+	if err != nil {
+		return nil, err
+	}
+	generated := make(map[string][]int64, len(spec.Attrs))
+	for _, a := range spec.Attrs {
+		var vals []int64
+		switch a.Dist {
+		case Uniform:
+			vals, err = UniformValues(rng, spec.Rows, a.Domain)
+		case Zipfian:
+			if a.Perm != nil {
+				var zf *Zipf
+				zf, err = NewZipfWithPerm(rng, a.Domain, a.Z, a.Perm)
+				if err == nil {
+					vals = zf.Values(spec.Rows)
+				}
+			} else {
+				vals, err = ZipfValues(rng, spec.Rows, a.Domain, a.Z)
+			}
+		case CorrelatedWith:
+			base, ok := generated[a.Base]
+			if !ok {
+				return nil, fmt.Errorf("datagen: table %q attr %q: base attribute %q not generated yet",
+					spec.Name, a.Name, a.Base)
+			}
+			vals = Correlated(rng, base, a.Noise)
+		default:
+			return nil, fmt.Errorf("datagen: table %q attr %q: unknown distribution %d", spec.Name, a.Name, a.Dist)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datagen: table %q attr %q: %w", spec.Name, a.Name, err)
+		}
+		if err := t.SetColumn(a.Name, vals); err != nil {
+			return nil, err
+		}
+		generated[a.Name] = vals
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ChainConfig parameterizes the paper's single-SIT evaluation database
+// (Section 5.1): four tables forming a join chain
+//
+//	T1 -(T1.jnext = T2.jprev)- T2 -(T2.jnext = T3.jprev)- T3 - ... - T4
+//
+// with 10,000 to 100,000 tuples per table, three to five attributes each,
+// join attributes drawn either zipfian (skewed experiments, z = 1) or
+// uniform (independence-holds experiment), and the SIT attribute of each
+// table correlated with its incoming join attribute so that the independence
+// assumption fails exactly as in the paper's Figure 7 setting.
+type ChainConfig struct {
+	// Tables is the number of tables in the chain (the paper uses 4).
+	Tables int
+	// Rows holds per-table row counts; len(Rows) must equal Tables.
+	Rows []int
+	// Domain is the join-attribute value domain size.
+	Domain int
+	// JoinZ is the Zipf exponent of the join attributes; 0 means uniform.
+	JoinZ float64
+	// CorrelateSIT correlates each table's "a" attribute with its jprev join
+	// attribute (noise CorrNoise); when false, "a" is independent uniform.
+	CorrelateSIT bool
+	// CorrNoise is the correlation noise half-width.
+	CorrNoise int
+	// PayloadDomain is the domain of the independent payload attributes.
+	PayloadDomain int
+	// Seed drives all random draws.
+	Seed int64
+}
+
+// DefaultChainConfig returns the configuration used to regenerate Figure 7:
+// 4 tables forming a chain with skewed join attributes (z = 1) and SIT
+// attributes correlated with the join attributes. Row counts are scaled down
+// from the paper's 10k-100k band because self-similar zipfian equi-joins grow
+// multiplicatively (roughly |T|·sum(p_i^2) per additional join, about
+// 2%-3% of |T| at z = 1): these sizes keep the materialized 4-way ground
+// truth in the low millions of tuples so every figure regenerates in seconds
+// while preserving the skew and correlation that drive the paper's result.
+func DefaultChainConfig() ChainConfig {
+	return ChainConfig{
+		Tables:        4,
+		Rows:          []int{1000, 800, 600, 500},
+		Domain:        2000,
+		JoinZ:         1.0,
+		CorrelateSIT:  true,
+		CorrNoise:     200,
+		PayloadDomain: 10000,
+		Seed:          42,
+	}
+}
+
+// ChainTableName returns the name of the i-th (1-based) chain table.
+func ChainTableName(i int) string { return fmt.Sprintf("T%d", i) }
+
+// ChainDB builds the chain-join evaluation database. Every table Ti has
+// columns:
+//
+//	jprev — join attribute matching T(i-1).jnext (absent on T1)
+//	jnext — join attribute matching T(i+1).jprev (absent on the last table)
+//	a     — the SIT target attribute (correlated with jprev when configured)
+//	b, c  — independent payload attributes
+//
+// so each table has the paper's three to five attributes.
+func ChainDB(cfg ChainConfig) (*data.Catalog, error) {
+	if cfg.Tables < 2 {
+		return nil, fmt.Errorf("datagen: ChainDB needs at least 2 tables, got %d", cfg.Tables)
+	}
+	if len(cfg.Rows) != cfg.Tables {
+		return nil, fmt.Errorf("datagen: ChainDB got %d row counts for %d tables", len(cfg.Rows), cfg.Tables)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// One shared rank->value permutation for all join attributes: heavy
+	// values coincide across tables (so joins are genuinely skewed) but are
+	// scattered over the whole domain rather than clustered at its low end.
+	joinPerm := Permutation(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Domain)
+	cat := data.NewCatalog()
+	for i := 1; i <= cfg.Tables; i++ {
+		var attrs []AttrSpec
+		joinDist := Zipfian
+		if cfg.JoinZ == 0 {
+			joinDist = Uniform
+		}
+		if i > 1 {
+			attrs = append(attrs, AttrSpec{Name: "jprev", Dist: joinDist, Domain: cfg.Domain, Z: cfg.JoinZ, Perm: joinPerm})
+		}
+		if i < cfg.Tables {
+			attrs = append(attrs, AttrSpec{Name: "jnext", Dist: joinDist, Domain: cfg.Domain, Z: cfg.JoinZ, Perm: joinPerm})
+		}
+		aSpec := AttrSpec{Name: "a", Dist: Uniform, Domain: cfg.PayloadDomain}
+		if cfg.CorrelateSIT && i > 1 {
+			aSpec = AttrSpec{Name: "a", Dist: CorrelatedWith, Base: "jprev", Noise: cfg.CorrNoise}
+		}
+		attrs = append(attrs, aSpec)
+		attrs = append(attrs,
+			AttrSpec{Name: "b", Dist: Uniform, Domain: cfg.PayloadDomain},
+			AttrSpec{Name: "c", Dist: Zipfian, Domain: cfg.PayloadDomain, Z: 0.5},
+		)
+		t, err := GenerateTable(rng, TableSpec{Name: ChainTableName(i), Rows: cfg.Rows[i-1], Attrs: attrs})
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}

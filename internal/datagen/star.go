@@ -1,0 +1,159 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sitstats/sits/internal/data"
+)
+
+// StarConfig parameterizes a star/snowflake-shaped synthetic database used to
+// exercise SITs over acyclic, non-chain generating queries (Section 3.2's
+// join trees): one fact table with skewed foreign keys into several
+// dimensions, one of which chains into a sub-dimension.
+type StarConfig struct {
+	// FactRows is the size of the fact table F.
+	FactRows int
+	// DimRows holds the sizes of the dimension tables D1..Dn; the paper-style
+	// SIT attribute "a" lives on F and correlates with the first dimension's
+	// key.
+	DimRows []int
+	// DimDomains holds the key domain of each dimension (values drawn
+	// zipfian on the fact side, uniform with duplicates on the dimension
+	// side).
+	DimDomains []int
+	// SubDimRows, when positive, snowflakes the first dimension: D1 gains a
+	// foreign key into a sub-dimension E of this size.
+	SubDimRows int
+	// KeyZ is the zipf exponent of the fact table's foreign keys.
+	KeyZ float64
+	// CorrNoise is the half-width of the noise correlating F.a with the
+	// first foreign key.
+	CorrNoise int
+	// Seed drives all draws.
+	Seed int64
+}
+
+// DefaultStarConfig returns a snowflake with two dimensions, sized to keep
+// the full join in the hundreds of thousands of tuples.
+func DefaultStarConfig() StarConfig {
+	return StarConfig{
+		FactRows:   4000,
+		DimRows:    []int{900, 700},
+		DimDomains: []int{300, 250},
+		SubDimRows: 200,
+		KeyZ:       1.0,
+		CorrNoise:  40,
+		Seed:       17,
+	}
+}
+
+// StarDB materializes the star/snowflake database:
+//
+//	F(k1, k2, ..., a)   — fact; ki joins Di.id; a correlates with k1
+//	Di(id[, e])         — dimensions; D1 gains e joining E.id when snowflaked
+//	E(id)               — sub-dimension (optional)
+func StarDB(cfg StarConfig) (*data.Catalog, error) {
+	if cfg.FactRows <= 0 || len(cfg.DimRows) == 0 {
+		return nil, fmt.Errorf("datagen: StarDB needs a fact table and at least one dimension")
+	}
+	if len(cfg.DimRows) != len(cfg.DimDomains) {
+		return nil, fmt.Errorf("datagen: StarDB got %d dimension sizes and %d domains",
+			len(cfg.DimRows), len(cfg.DimDomains))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := data.NewCatalog()
+
+	// Fact table.
+	factCols := make([]string, 0, len(cfg.DimRows)+1)
+	for i := range cfg.DimRows {
+		factCols = append(factCols, fmt.Sprintf("k%d", i+1))
+	}
+	factCols = append(factCols, "a")
+	fact, err := data.NewTable("F", factCols...)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][]int64, len(cfg.DimRows))
+	for i, domain := range cfg.DimDomains {
+		keys[i], err = ZipfValues(rng, cfg.FactRows, domain, cfg.KeyZ)
+		if err != nil {
+			return nil, err
+		}
+	}
+	aVals := Correlated(rng, keys[0], cfg.CorrNoise)
+	row := make([]int64, len(factCols))
+	for r := 0; r < cfg.FactRows; r++ {
+		for i := range keys {
+			row[i] = keys[i][r]
+		}
+		row[len(row)-1] = aVals[r]
+		if err := fact.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	if err := cat.Add(fact); err != nil {
+		return nil, err
+	}
+
+	// Dimensions: ids drawn with half the fact side's skew (same unshuffled
+	// rank order), so the keys that are frequent in F also have the most
+	// dimension rows — join fan-out then correlates with the SIT attribute,
+	// which is exactly the effect that breaks histogram propagation.
+	for i, n := range cfg.DimRows {
+		name := fmt.Sprintf("D%d", i+1)
+		cols := []string{"id"}
+		snowflaked := i == 0 && cfg.SubDimRows > 0
+		if snowflaked {
+			cols = append(cols, "e")
+		}
+		dim, err := data.NewTable(name, cols...)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := ZipfValues(rng, n, cfg.DimDomains[i], cfg.KeyZ/2)
+		if err != nil {
+			return nil, err
+		}
+		var es []int64
+		if snowflaked {
+			es, err = ZipfValues(rng, n, cfg.SubDimRows, cfg.KeyZ)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for r := 0; r < n; r++ {
+			if snowflaked {
+				err = dim.AppendRow(ids[r], es[r])
+			} else {
+				err = dim.AppendRow(ids[r])
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := cat.Add(dim); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.SubDimRows > 0 {
+		sub, err := data.NewTable("E", "id")
+		if err != nil {
+			return nil, err
+		}
+		ids, err := UniformValues(rng, cfg.SubDimRows, cfg.SubDimRows)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if err := sub.AppendRow(id); err != nil {
+				return nil, err
+			}
+		}
+		if err := cat.Add(sub); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}

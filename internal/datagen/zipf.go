@@ -1,0 +1,179 @@
+// Package datagen generates the synthetic data sets used by the paper's
+// evaluation (Section 5). It provides deterministic, seeded generators for
+// generalized Zipf distributions (any skew parameter z >= 0, unlike
+// math/rand.Zipf which requires s > 1), uniform distributions, and attribute
+// correlation, plus builders for the paper's 4-table experimental database.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws values from a generalized Zipf distribution over the integer
+// domain [1, n]: P(rank i) proportional to 1/i^z. z = 0 degenerates to the
+// uniform distribution; the paper's experiments use z in [0.1, 1].
+//
+// Ranks are mapped to domain values by a permutation chosen at construction
+// time when shuffle is enabled, so that heavy hitters are not always the
+// smallest values; with shuffle disabled rank i maps to value i, which keeps
+// skew aligned with value order (useful for readable tests).
+type Zipf struct {
+	rng  *rand.Rand
+	cdf  []float64 // cdf[i] = P(rank <= i+1)
+	perm []int64   // rank (0-based) -> value in [1, n]
+}
+
+// NewZipfWithPerm creates a generalized Zipf generator over [1, n] with
+// exponent z whose rank->value mapping is the supplied permutation of
+// [1, n]. Sharing one permutation across several columns makes their heavy
+// values coincide — the foreign-key-like skew alignment the chain-join
+// database needs — while still scattering the heavy values over the whole
+// domain instead of clustering them at its low end.
+func NewZipfWithPerm(rng *rand.Rand, n int, z float64, perm []int64) (*Zipf, error) {
+	if len(perm) != n {
+		return nil, fmt.Errorf("datagen: NewZipfWithPerm permutation has %d entries, want %d", len(perm), n)
+	}
+	zf, err := NewZipf(rng, n, z, false)
+	if err != nil {
+		return nil, err
+	}
+	zf.perm = perm
+	return zf, nil
+}
+
+// Permutation returns a shuffled copy of [1, n] usable with NewZipfWithPerm.
+func Permutation(rng *rand.Rand, n int) []int64 {
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i + 1)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}
+
+// NewZipf creates a generalized Zipf generator over [1, n] with exponent z.
+func NewZipf(rng *rand.Rand, n int, z float64, shuffle bool) (*Zipf, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("datagen: NewZipf needs a non-nil rng")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: NewZipf domain size %d must be positive", n)
+	}
+	if z < 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		return nil, fmt.Errorf("datagen: NewZipf exponent %v must be finite and non-negative", z)
+	}
+	zf := &Zipf{rng: rng}
+	zf.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), z)
+		zf.cdf[i-1] = sum
+	}
+	for i := range zf.cdf {
+		zf.cdf[i] /= sum
+	}
+	zf.perm = make([]int64, n)
+	for i := range zf.perm {
+		zf.perm[i] = int64(i + 1)
+	}
+	if shuffle {
+		rng.Shuffle(n, func(i, j int) { zf.perm[i], zf.perm[j] = zf.perm[j], zf.perm[i] })
+	}
+	return zf, nil
+}
+
+// Next draws one value.
+func (zf *Zipf) Next() int64 {
+	u := zf.rng.Float64()
+	i := sort.SearchFloat64s(zf.cdf, u)
+	if i >= len(zf.perm) {
+		i = len(zf.perm) - 1
+	}
+	return zf.perm[i]
+}
+
+// Values draws count values.
+func (zf *Zipf) Values(count int) []int64 {
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = zf.Next()
+	}
+	return out
+}
+
+// ZipfValues is a convenience wrapper: count draws from Zipf([1, domain], z)
+// without rank shuffling.
+func ZipfValues(rng *rand.Rand, count, domain int, z float64) ([]int64, error) {
+	zf, err := NewZipf(rng, domain, z, false)
+	if err != nil {
+		return nil, err
+	}
+	return zf.Values(count), nil
+}
+
+// UniformValues draws count values uniformly from [1, domain].
+func UniformValues(rng *rand.Rand, count, domain int) ([]int64, error) {
+	if domain <= 0 {
+		return nil, fmt.Errorf("datagen: UniformValues domain %d must be positive", domain)
+	}
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = rng.Int63n(int64(domain)) + 1
+	}
+	return out, nil
+}
+
+// Correlated derives a column correlated with base: each output value is its
+// base value plus uniform noise in [-noise, +noise]. noise = 0 yields a copy.
+// Correlation between a join attribute and the SIT attribute is exactly what
+// breaks the independence assumption in the paper's Figure 7 experiments.
+func Correlated(rng *rand.Rand, base []int64, noise int) []int64 {
+	out := make([]int64, len(base))
+	for i, v := range base {
+		if noise > 0 {
+			v += rng.Int63n(int64(2*noise+1)) - int64(noise)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ZipfSizes splits total into n positive sizes following a Zipf(z)
+// distribution over ranks, largest first. It is used by the scheduling
+// experiments, where the paper draws table cardinalities from a zipfian with
+// z = 1 and a combined size of one million tuples (Section 5.2).
+func ZipfSizes(total, n int, z float64) ([]int, error) {
+	if n <= 0 || total < n {
+		return nil, fmt.Errorf("datagen: ZipfSizes needs total >= n > 0, got total=%d n=%d", total, n)
+	}
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), z)
+		sum += weights[i]
+	}
+	sizes := make([]int, n)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(total) * weights[i] / sum)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Distribute rounding leftovers (positive or negative) over the largest
+	// tables, keeping every size at least 1.
+	for i := 0; assigned != total; i = (i + 1) % n {
+		if assigned < total {
+			sizes[i]++
+			assigned++
+		} else if sizes[i] > 1 {
+			sizes[i]--
+			assigned--
+		}
+	}
+	return sizes, nil
+}

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distinct removes duplicate rows from its input (set semantics). It buffers
+// seen rows in memory.
+type Distinct struct {
+	in   Operator
+	seen map[string]bool
+}
+
+// NewDistinct wraps in with duplicate elimination over whole rows.
+func NewDistinct(in Operator) *Distinct {
+	return &Distinct{in: in, seen: map[string]bool{}}
+}
+
+// Columns implements Operator.
+func (d *Distinct) Columns() []string { return d.in.Columns() }
+
+// Next implements Operator.
+func (d *Distinct) Next() ([]int64, bool) {
+	for {
+		row, ok := d.in.Next()
+		if !ok {
+			return nil, false
+		}
+		key := rowKey(row)
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return row, true
+	}
+}
+
+// Reset implements Operator.
+func (d *Distinct) Reset() {
+	d.in.Reset()
+	d.seen = map[string]bool{}
+}
+
+func rowKey(row []int64) string {
+	buf := make([]byte, 0, len(row)*8)
+	for _, v := range row {
+		u := uint64(v)
+		buf = append(buf,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	return string(buf)
+}
+
+// GroupCount is a hash aggregation producing one row per distinct group key
+// with its occurrence count appended as the final column "count". Output rows
+// are ordered by group key so results are deterministic.
+type GroupCount struct {
+	in     Operator
+	keyIdx []int
+	cols   []string
+
+	built  bool
+	groups [][]int64 // group key values ++ count
+	pos    int
+}
+
+// NewGroupCount groups in by the named columns and counts rows per group.
+func NewGroupCount(in Operator, groupBy ...string) (*GroupCount, error) {
+	if len(groupBy) == 0 {
+		return nil, fmt.Errorf("exec: GroupCount needs at least one grouping column")
+	}
+	g := &GroupCount{in: in}
+	for _, c := range groupBy {
+		i, err := columnIndex(in.Columns(), c)
+		if err != nil {
+			return nil, err
+		}
+		g.keyIdx = append(g.keyIdx, i)
+		g.cols = append(g.cols, c)
+	}
+	g.cols = append(g.cols, "count")
+	return g, nil
+}
+
+// Columns implements Operator: the grouping columns plus "count".
+func (g *GroupCount) Columns() []string { return g.cols }
+
+func (g *GroupCount) build() {
+	counts := map[string]int64{}
+	keys := map[string][]int64{}
+	for {
+		row, ok := g.in.Next()
+		if !ok {
+			break
+		}
+		key := make([]int64, len(g.keyIdx))
+		for i, idx := range g.keyIdx {
+			key[i] = row[idx]
+		}
+		ks := rowKey(key)
+		counts[ks]++
+		if _, dup := keys[ks]; !dup {
+			keys[ks] = key
+		}
+	}
+	for ks, key := range keys {
+		g.groups = append(g.groups, append(key, counts[ks]))
+	}
+	sort.Slice(g.groups, func(i, j int) bool {
+		a, b := g.groups[i], g.groups[j]
+		for k := 0; k < len(a)-1; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	g.built = true
+}
+
+// Next implements Operator.
+func (g *GroupCount) Next() ([]int64, bool) {
+	if !g.built {
+		g.build()
+	}
+	if g.pos >= len(g.groups) {
+		return nil, false
+	}
+	row := g.groups[g.pos]
+	g.pos++
+	return row, true
+}
+
+// Reset implements Operator; the aggregation is retained and only the output
+// cursor rewinds.
+func (g *GroupCount) Reset() { g.pos = 0 }

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/sitstats/sits/internal/data"
+)
+
+func TestDistinct(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "y"}, [][]int64{
+		{1, 1}, {1, 1}, {1, 2}, {2, 1}, {1, 1},
+	})
+	d := NewDistinct(NewTableScan(tab))
+	rows := drain(t, d)
+	sortRows(rows)
+	want := [][]int64{{1, 1}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("distinct = %v, want %v", rows, want)
+	}
+	d.Reset()
+	if got := drain(t, d); len(got) != 3 {
+		t.Errorf("after Reset: %d rows", len(got))
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "y"}, [][]int64{
+		{1, 10}, {1, 20}, {2, 30}, {1, 40}, {2, 50},
+	})
+	g, err := NewGroupCount(NewTableScan(tab), "R.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Columns(), []string{"R.x", "count"}) {
+		t.Errorf("columns = %v", g.Columns())
+	}
+	rows := drain(t, g)
+	want := [][]int64{{1, 3}, {2, 2}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("groups = %v, want %v", rows, want)
+	}
+	g.Reset()
+	if got := drain(t, g); !reflect.DeepEqual(got, want) {
+		t.Errorf("after Reset: %v", got)
+	}
+	if _, err := NewGroupCount(NewTableScan(tab)); err == nil {
+		t.Error("no grouping columns: want error")
+	}
+	if _, err := NewGroupCount(NewTableScan(tab), "R.zz"); err == nil {
+		t.Error("bad column: want error")
+	}
+}
+
+func TestGroupCountMultiKey(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "y"}, [][]int64{
+		{1, 1}, {1, 1}, {1, 2}, {2, 1},
+	})
+	g, err := NewGroupCount(NewTableScan(tab), "R.x", "R.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, g)
+	want := [][]int64{{1, 1, 2}, {1, 2, 1}, {2, 1, 1}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("groups = %v, want %v", rows, want)
+	}
+}
+
+// Property: GroupCount totals equal the input size, groups are distinct and
+// sorted, and Distinct's output size equals the number of groups over the
+// full row.
+func TestAggregateQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		tab := data.MustNewTable("Q", "x")
+		ref := map[int64]int64{}
+		for _, v := range raw {
+			x := int64(v % 16)
+			tab.AppendRow(x)
+			ref[x]++
+		}
+		g, err := NewGroupCount(NewTableScan(tab), "Q.x")
+		if err != nil {
+			return false
+		}
+		var total int64
+		seen := map[int64]bool{}
+		prev := int64(-1)
+		for {
+			row, ok := g.Next()
+			if !ok {
+				break
+			}
+			if row[0] <= prev || seen[row[0]] || row[1] != ref[row[0]] {
+				return false
+			}
+			prev = row[0]
+			seen[row[0]] = true
+			total += row[1]
+		}
+		if total != int64(len(raw)) || len(seen) != len(ref) {
+			return false
+		}
+		d := NewDistinct(NewTableScan(tab))
+		n := 0
+		for {
+			if _, ok := d.Next(); !ok {
+				break
+			}
+			n++
+		}
+		return n == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperatorResets(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "a"}, [][]int64{{1, 10}, {2, 20}, {3, 30}})
+	f, err := NewRangeFilter(NewTableScan(tab), "R.a", 15, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(t, f)
+	f.Reset()
+	second := drain(t, f)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("filter reset: %v vs %v", first, second)
+	}
+	p, err := NewProject(NewTableScan(tab), "R.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, p)
+	p.Reset()
+	if got := drain(t, p); len(got) != 3 {
+		t.Errorf("project reset: %v", got)
+	}
+	s, err := NewSort(NewTableScan(tab), "R.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s)
+	s.Reset()
+	if got := drain(t, s); len(got) != 3 {
+		t.Errorf("sort reset: %v", got)
+	}
+	if _, err := NewSort(NewTableScan(tab), "bogus"); err == nil {
+		t.Error("sort on bad column: want error")
+	}
+}

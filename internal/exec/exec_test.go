@@ -1,0 +1,334 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/query"
+)
+
+func makeTable(t *testing.T, name string, cols []string, rows [][]int64) *data.Table {
+	t.Helper()
+	tab := data.MustNewTable(name, cols...)
+	for _, r := range rows {
+		if err := tab.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func drain(t *testing.T, op Operator) [][]int64 {
+	t.Helper()
+	var out [][]int64
+	for {
+		row, ok := op.Next()
+		if !ok {
+			return out
+		}
+		cp := make([]int64, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	}
+}
+
+func sortRows(rows [][]int64) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func TestTableScan(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "a"}, [][]int64{{1, 10}, {2, 20}})
+	s := NewTableScan(tab)
+	if !reflect.DeepEqual(s.Columns(), []string{"R.x", "R.a"}) {
+		t.Errorf("columns = %v", s.Columns())
+	}
+	rows := drain(t, s)
+	if !reflect.DeepEqual(rows, [][]int64{{1, 10}, {2, 20}}) {
+		t.Errorf("rows = %v", rows)
+	}
+	s.Reset()
+	if got := drain(t, s); len(got) != 2 {
+		t.Errorf("after Reset: %v", got)
+	}
+}
+
+func TestFilterAndProject(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "a"}, [][]int64{{1, 10}, {2, 20}, {3, 30}})
+	f, err := NewRangeFilter(NewTableScan(tab), "R.a", 15, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, f)
+	if !reflect.DeepEqual(rows, [][]int64{{2, 20}}) {
+		t.Errorf("filtered = %v", rows)
+	}
+	if _, err := NewRangeFilter(NewTableScan(tab), "R.zz", 0, 1); err == nil {
+		t.Error("bad column: want error")
+	}
+
+	p, err := NewProject(NewTableScan(tab), "R.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Columns(), []string{"R.a"}) {
+		t.Errorf("project columns = %v", p.Columns())
+	}
+	rows = drain(t, p)
+	if !reflect.DeepEqual(rows, [][]int64{{10}, {20}, {30}}) {
+		t.Errorf("projected = %v", rows)
+	}
+	if _, err := NewProject(NewTableScan(tab), "bogus"); err == nil {
+		t.Error("bad project column: want error")
+	}
+}
+
+func TestHashJoinSmall(t *testing.T) {
+	r := makeTable(t, "R", []string{"x"}, [][]int64{{1}, {2}, {2}, {5}})
+	s := makeTable(t, "S", []string{"y", "a"}, [][]int64{{2, 100}, {3, 200}, {2, 300}, {1, 400}})
+	j, err := NewHashJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j.Columns(), []string{"R.x", "S.y", "S.a"}) {
+		t.Errorf("columns = %v", j.Columns())
+	}
+	rows := drain(t, j)
+	sortRows(rows)
+	want := [][]int64{
+		{1, 1, 400},
+		{2, 2, 100}, {2, 2, 100},
+		{2, 2, 300}, {2, 2, 300},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("join = %v, want %v", rows, want)
+	}
+	// Reset re-probes with the retained build side.
+	j.Reset()
+	if got := drain(t, j); len(got) != 5 {
+		t.Errorf("after Reset: %d rows", len(got))
+	}
+	if _, err := NewHashJoin(NewTableScan(r), NewTableScan(s)); err == nil {
+		t.Error("no conditions: want error")
+	}
+	if _, err := NewHashJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.q", RightCol: "S.y"}); err == nil {
+		t.Error("bad column: want error")
+	}
+}
+
+// randomJoinInputs builds two random tables for join equivalence testing.
+func randomJoinInputs(seed int64, n1, n2, domain int) (*data.Table, *data.Table) {
+	rng := rand.New(rand.NewSource(seed))
+	r := data.MustNewTable("R", "x", "p")
+	for i := 0; i < n1; i++ {
+		r.AppendRow(rng.Int63n(int64(domain)), rng.Int63n(100))
+	}
+	s := data.MustNewTable("S", "y", "q")
+	for i := 0; i < n2; i++ {
+		s.AppendRow(rng.Int63n(int64(domain)), rng.Int63n(100))
+	}
+	return r, s
+}
+
+// TestJoinEquivalence: hash join, merge join (over sorts) and nested loop
+// join must produce identical result multisets.
+func TestJoinEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r, s := randomJoinInputs(seed, 200, 150, 20)
+		hj, err := NewHashJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nj, err := NewNestedLoopJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := NewSort(NewTableScan(r), "R.x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewSort(NewTableScan(s), "S.y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := NewMergeJoin(ls, rs, "R.x", "S.y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, n, m := drain(t, hj), drain(t, nj), drain(t, mj)
+		sortRows(h)
+		sortRows(n)
+		sortRows(m)
+		if !reflect.DeepEqual(h, n) {
+			t.Fatalf("seed %d: hash join != nested loop (%d vs %d rows)", seed, len(h), len(n))
+		}
+		if !reflect.DeepEqual(h, m) {
+			t.Fatalf("seed %d: hash join != merge join (%d vs %d rows)", seed, len(h), len(m))
+		}
+	}
+}
+
+// Property: all three joins agree on arbitrary small inputs.
+func TestJoinEquivalenceQuick(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		r := data.MustNewTable("R", "x")
+		for _, v := range xs {
+			r.AppendRow(int64(v % 8))
+		}
+		s := data.MustNewTable("S", "y")
+		for _, v := range ys {
+			s.AppendRow(int64(v % 8))
+		}
+		hj, err := NewHashJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+		if err != nil {
+			return false
+		}
+		nj, err := NewNestedLoopJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+		if err != nil {
+			return false
+		}
+		h := drainQuiet(hj)
+		n := drainQuiet(nj)
+		sortRows(h)
+		sortRows(n)
+		return reflect.DeepEqual(h, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func drainQuiet(op Operator) [][]int64 {
+	var out [][]int64
+	for {
+		row, ok := op.Next()
+		if !ok {
+			return out
+		}
+		cp := make([]int64, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	}
+}
+
+func TestMergeJoinDuplicatesBothSides(t *testing.T) {
+	r := makeTable(t, "R", []string{"x"}, [][]int64{{1}, {1}, {2}})
+	s := makeTable(t, "S", []string{"y"}, [][]int64{{1}, {1}, {1}, {2}})
+	ls, _ := NewSort(NewTableScan(r), "R.x")
+	rs, _ := NewSort(NewTableScan(s), "S.y")
+	mj, err := NewMergeJoin(ls, rs, "R.x", "S.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, mj)
+	if len(rows) != 2*3+1 {
+		t.Errorf("merge join rows = %d, want 7", len(rows))
+	}
+}
+
+func TestPlanAndMaterializeChain(t *testing.T) {
+	cat := data.NewCatalog()
+	cat.MustAdd(makeTable(t, "R", []string{"x"}, [][]int64{{1}, {2}}))
+	cat.MustAdd(makeTable(t, "S", []string{"y", "z", "a"}, [][]int64{{1, 7, 10}, {2, 8, 20}, {2, 7, 30}}))
+	cat.MustAdd(makeTable(t, "T", []string{"w", "b"}, [][]int64{{7, 100}, {7, 200}, {8, 300}}))
+	e, err := query.Chain([]string{"R", "S", "T"}, []string{"x", "z"}, []string{"y", "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := Cardinality(cat, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R(1)-S(1,7,10)-T(7,*): 2 rows; R(2)-S(2,8,20)-T(8,300): 1; R(2)-S(2,7,30)-T(7,*): 2.
+	if card != 5 {
+		t.Errorf("cardinality = %d, want 5", card)
+	}
+	vals, err := AttrValues(cat, e, "S", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if !reflect.DeepEqual(vals, []int64{10, 10, 20, 30, 30}) {
+		t.Errorf("S.a values = %v", vals)
+	}
+	n, err := RangeCardinality(cat, e, "S", "a", 15, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("range cardinality = %d, want 3", n)
+	}
+	op, err := Plan(cat, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Materialize(op, "RST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 {
+		t.Errorf("materialized rows = %d", tab.NumRows())
+	}
+	if !tab.HasColumn("S_a") {
+		t.Errorf("materialized columns = %v", tab.ColumnNames())
+	}
+}
+
+func TestPlanBaseTable(t *testing.T) {
+	cat := data.NewCatalog()
+	cat.MustAdd(makeTable(t, "R", []string{"x"}, [][]int64{{1}, {2}}))
+	e, err := query.NewBaseExpr("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := Cardinality(cat, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != 2 {
+		t.Errorf("cardinality = %d", card)
+	}
+}
+
+func TestPlanMultiPredicate(t *testing.T) {
+	cat := data.NewCatalog()
+	cat.MustAdd(makeTable(t, "R", []string{"w", "y"}, [][]int64{{1, 5}, {1, 6}, {2, 5}}))
+	cat.MustAdd(makeTable(t, "S", []string{"x", "z"}, [][]int64{{1, 5}, {1, 7}, {2, 5}}))
+	e, err := query.NewExpr(
+		query.JoinPred{LeftTable: "R", LeftAttr: "w", RightTable: "S", RightAttr: "x"},
+		query.JoinPred{LeftTable: "R", LeftAttr: "y", RightTable: "S", RightAttr: "z"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := Cardinality(cat, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: (1,5)-(1,5) and (2,5)-(2,5).
+	if card != 2 {
+		t.Errorf("multi-predicate cardinality = %d, want 2", card)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cat := data.NewCatalog()
+	cat.MustAdd(makeTable(t, "R", []string{"x"}, nil))
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	if _, err := Plan(cat, e); err == nil {
+		t.Error("missing table S: want error")
+	}
+	if _, err := AttrValues(cat, e, "S", "a"); err == nil {
+		t.Error("AttrValues with missing table: want error")
+	}
+}

@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/query"
+)
+
+// Materialize drains an operator into a table named name. Qualified column
+// names ("R.x") become "R_x" in the result.
+func Materialize(op Operator, name string) (*data.Table, error) {
+	cols := make([]string, len(op.Columns()))
+	for i, c := range op.Columns() {
+		cols[i] = strings.ReplaceAll(c, ".", "_")
+	}
+	t, err := data.NewTable(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		row, ok := op.Next()
+		if !ok {
+			break
+		}
+		if err := t.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Plan builds an operator tree evaluating the generating expression with hash
+// joins: tables are joined in a connectivity-preserving order starting from
+// the expression's first table, so every join has at least one applicable
+// predicate. Output columns are qualified names ("R.x").
+func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
+	tables := e.Tables()
+	if len(tables) == 1 {
+		t, err := cat.Table(tables[0])
+		if err != nil {
+			return nil, err
+		}
+		return NewTableScan(t), nil
+	}
+	joined := map[string]bool{}
+	remaining := append([]query.JoinPred(nil), e.Joins()...)
+
+	first, err := cat.Table(tables[0])
+	if err != nil {
+		return nil, err
+	}
+	var root Operator = NewTableScan(first)
+	joined[tables[0]] = true
+
+	for len(remaining) > 0 {
+		progress := false
+		for i, p := range remaining {
+			lIn, rIn := joined[p.LeftTable], joined[p.RightTable]
+			switch {
+			case lIn && rIn:
+				// Both sides already joined: apply as a filter (extra
+				// predicate between an already-connected table pair).
+				f, err := equalityFilter(root, p.LeftTable+"."+p.LeftAttr, p.RightTable+"."+p.RightAttr)
+				if err != nil {
+					return nil, err
+				}
+				root = f
+			case lIn || rIn:
+				newTable := p.RightTable
+				probeCol, buildCol := p.LeftTable+"."+p.LeftAttr, p.RightTable+"."+p.RightAttr
+				if rIn {
+					newTable = p.LeftTable
+					probeCol, buildCol = p.RightTable+"."+p.RightAttr, p.LeftTable+"."+p.LeftAttr
+				}
+				t, err := cat.Table(newTable)
+				if err != nil {
+					return nil, err
+				}
+				// Build on the new base table, probe with the accumulated
+				// intermediate result.
+				j, err := NewHashJoin(NewTableScan(t), root, JoinCond{LeftCol: buildCol, RightCol: probeCol})
+				if err != nil {
+					return nil, err
+				}
+				root = j
+				joined[newTable] = true
+			default:
+				continue
+			}
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("exec: expression %q is not connected", e.String())
+		}
+	}
+	return root, nil
+}
+
+func equalityFilter(in Operator, colA, colB string) (Operator, error) {
+	ia, err := columnIndex(in.Columns(), colA)
+	if err != nil {
+		return nil, err
+	}
+	ib, err := columnIndex(in.Columns(), colB)
+	if err != nil {
+		return nil, err
+	}
+	return NewFilter(in, func(row []int64) bool { return row[ia] == row[ib] }), nil
+}
+
+// AttrValues evaluates the generating expression and returns the values of
+// table.attr in its result — the exact distribution pi_{table.attr}(Q) a SIT
+// approximates. This is the ground truth used by the accuracy experiments and
+// by SweepExact's reference tests.
+func AttrValues(cat *data.Catalog, e *query.Expr, table, attr string) ([]int64, error) {
+	op, err := Plan(cat, e)
+	if err != nil {
+		return nil, err
+	}
+	col := table + "." + attr
+	idx, err := columnIndex(op.Columns(), col)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for {
+		row, ok := op.Next()
+		if !ok {
+			break
+		}
+		out = append(out, row[idx])
+	}
+	return out, nil
+}
+
+// Cardinality evaluates the expression and counts result rows.
+func Cardinality(cat *data.Catalog, e *query.Expr) (int64, error) {
+	op, err := Plan(cat, e)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		if _, ok := op.Next(); !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// RangeCardinality evaluates |sigma_{lo <= table.attr <= hi}(Q)| exactly.
+func RangeCardinality(cat *data.Catalog, e *query.Expr, table, attr string, lo, hi int64) (int64, error) {
+	op, err := Plan(cat, e)
+	if err != nil {
+		return 0, err
+	}
+	f, err := NewRangeFilter(op, table+"."+attr, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		if _, ok := f.Next(); !ok {
+			return n, nil
+		}
+		n++
+	}
+}

@@ -1,0 +1,542 @@
+// Package exec is a small Volcano-style query executor over the in-memory
+// column store. The paper's evaluation needs it twice: to materialize the
+// generating query of a SIT so the "actual" attribute distribution is known
+// (the evaluation metric of Section 5.1 compares estimated against actual
+// cardinalities of 1,000 range queries), and as the reference implementation
+// SweepExact must agree with.
+//
+// Operators expose qualified column names ("T.a") and produce rows as int64
+// slices. The multi-way join materializer executes arbitrary connected
+// equi-join expressions with hash joins.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sitstats/sits/internal/data"
+)
+
+// Operator is a pull-based row iterator. Rows returned by Next may be reused
+// by subsequent calls; callers that retain rows must copy them.
+type Operator interface {
+	// Columns returns the qualified output column names.
+	Columns() []string
+	// Next returns the next row, or ok=false when exhausted.
+	Next() (row []int64, ok bool)
+	// Reset rewinds the operator so it can be consumed again.
+	Reset()
+}
+
+func columnIndex(cols []string, name string) (int, error) {
+	for i, c := range cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: no column %q in %v", name, cols)
+}
+
+// TableScan reads every row of a table, exposing columns qualified with the
+// table's name ("R.x").
+type TableScan struct {
+	table *data.Table
+	cols  []string
+	names []string
+	pos   int
+	row   []int64
+	store [][]int64
+}
+
+// NewTableScan creates a scan over all columns of the table.
+func NewTableScan(t *data.Table) *TableScan {
+	names := t.ColumnNames()
+	s := &TableScan{
+		table: t,
+		cols:  make([]string, len(names)),
+		names: names,
+		row:   make([]int64, len(names)),
+		store: make([][]int64, len(names)),
+	}
+	for i, n := range names {
+		s.cols[i] = t.Name() + "." + n
+		s.store[i] = t.MustColumn(n)
+	}
+	return s
+}
+
+// Columns implements Operator.
+func (s *TableScan) Columns() []string { return s.cols }
+
+// Next implements Operator.
+func (s *TableScan) Next() ([]int64, bool) {
+	if s.pos >= s.table.NumRows() {
+		return nil, false
+	}
+	for i := range s.store {
+		s.row[i] = s.store[i][s.pos]
+	}
+	s.pos++
+	return s.row, true
+}
+
+// Reset implements Operator.
+func (s *TableScan) Reset() { s.pos = 0 }
+
+// Filter passes through rows satisfying a predicate.
+type Filter struct {
+	in   Operator
+	pred func(row []int64) bool
+}
+
+// NewFilter wraps in with an arbitrary row predicate.
+func NewFilter(in Operator, pred func(row []int64) bool) *Filter {
+	return &Filter{in: in, pred: pred}
+}
+
+// NewRangeFilter filters rows to lo <= row[col] <= hi.
+func NewRangeFilter(in Operator, col string, lo, hi int64) (*Filter, error) {
+	i, err := columnIndex(in.Columns(), col)
+	if err != nil {
+		return nil, err
+	}
+	return NewFilter(in, func(row []int64) bool { return row[i] >= lo && row[i] <= hi }), nil
+}
+
+// Columns implements Operator.
+func (f *Filter) Columns() []string { return f.in.Columns() }
+
+// Next implements Operator.
+func (f *Filter) Next() ([]int64, bool) {
+	for {
+		row, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(row) {
+			return row, true
+		}
+	}
+}
+
+// Reset implements Operator.
+func (f *Filter) Reset() { f.in.Reset() }
+
+// Project narrows the output to a subset of columns.
+type Project struct {
+	in   Operator
+	idx  []int
+	cols []string
+	row  []int64
+}
+
+// NewProject projects in onto the named columns.
+func NewProject(in Operator, cols ...string) (*Project, error) {
+	p := &Project{in: in, cols: append([]string(nil), cols...), row: make([]int64, len(cols))}
+	for _, c := range cols {
+		i, err := columnIndex(in.Columns(), c)
+		if err != nil {
+			return nil, err
+		}
+		p.idx = append(p.idx, i)
+	}
+	return p, nil
+}
+
+// Columns implements Operator.
+func (p *Project) Columns() []string { return p.cols }
+
+// Next implements Operator.
+func (p *Project) Next() ([]int64, bool) {
+	row, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	for i, j := range p.idx {
+		p.row[i] = row[j]
+	}
+	return p.row, true
+}
+
+// Reset implements Operator.
+func (p *Project) Reset() { p.in.Reset() }
+
+// JoinCond is one equality condition between a left and a right column.
+type JoinCond struct {
+	LeftCol, RightCol string
+}
+
+// HashJoin is an in-memory equi-join: it builds a hash table on the left
+// input keyed by the join columns and streams the right input, emitting the
+// concatenation left-row ++ right-row for every match.
+type HashJoin struct {
+	left, right Operator
+	conds       []JoinCond
+	lIdx, rIdx  []int
+	cols        []string
+
+	built   bool
+	ht      map[string][][]int64
+	pending [][]int64 // remaining matches for the current right row
+	current []int64   // copy of current right row
+	row     []int64
+}
+
+// NewHashJoin joins left and right on the conjunction of conds.
+func NewHashJoin(left, right Operator, conds ...JoinCond) (*HashJoin, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("exec: hash join needs at least one condition")
+	}
+	j := &HashJoin{left: left, right: right, conds: conds}
+	for _, c := range conds {
+		li, err := columnIndex(left.Columns(), c.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := columnIndex(right.Columns(), c.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		j.lIdx = append(j.lIdx, li)
+		j.rIdx = append(j.rIdx, ri)
+	}
+	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	j.row = make([]int64, len(j.cols))
+	return j, nil
+}
+
+func joinKey(row []int64, idx []int) string {
+	// Fixed-width binary key: fast and collision-free.
+	buf := make([]byte, 0, len(idx)*8)
+	for _, i := range idx {
+		v := uint64(row[i])
+		buf = append(buf,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(buf)
+}
+
+func (j *HashJoin) build() {
+	j.ht = make(map[string][][]int64)
+	for {
+		row, ok := j.left.Next()
+		if !ok {
+			break
+		}
+		cp := make([]int64, len(row))
+		copy(cp, row)
+		k := joinKey(cp, j.lIdx)
+		j.ht[k] = append(j.ht[k], cp)
+	}
+	j.built = true
+}
+
+// Columns implements Operator.
+func (j *HashJoin) Columns() []string { return j.cols }
+
+// Next implements Operator.
+func (j *HashJoin) Next() ([]int64, bool) {
+	if !j.built {
+		j.build()
+	}
+	for {
+		if len(j.pending) > 0 {
+			l := j.pending[0]
+			j.pending = j.pending[1:]
+			copy(j.row, l)
+			copy(j.row[len(l):], j.current)
+			return j.row, true
+		}
+		r, ok := j.right.Next()
+		if !ok {
+			return nil, false
+		}
+		matches := j.ht[joinKey(r, j.rIdx)]
+		if len(matches) == 0 {
+			continue
+		}
+		if j.current == nil {
+			j.current = make([]int64, len(r))
+		}
+		copy(j.current, r)
+		j.pending = matches
+	}
+}
+
+// Reset implements Operator.
+func (j *HashJoin) Reset() {
+	j.right.Reset()
+	j.pending = nil
+	// The hash table is retained; only the probe side rewinds.
+}
+
+// NestedLoopJoin is the brute-force reference join used in tests.
+type NestedLoopJoin struct {
+	left, right  Operator
+	conds        []JoinCond
+	lIdx, rIdx   []int
+	cols         []string
+	lRows        [][]int64
+	loaded       bool
+	li           int
+	currentRight []int64
+	row          []int64
+}
+
+// NewNestedLoopJoin joins left and right on the conjunction of conds.
+func NewNestedLoopJoin(left, right Operator, conds ...JoinCond) (*NestedLoopJoin, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("exec: nested loop join needs at least one condition")
+	}
+	j := &NestedLoopJoin{left: left, right: right, conds: conds}
+	for _, c := range conds {
+		li, err := columnIndex(left.Columns(), c.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := columnIndex(right.Columns(), c.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		j.lIdx = append(j.lIdx, li)
+		j.rIdx = append(j.rIdx, ri)
+	}
+	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	j.row = make([]int64, len(j.cols))
+	return j, nil
+}
+
+// Columns implements Operator.
+func (j *NestedLoopJoin) Columns() []string { return j.cols }
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() ([]int64, bool) {
+	if !j.loaded {
+		for {
+			row, ok := j.left.Next()
+			if !ok {
+				break
+			}
+			cp := make([]int64, len(row))
+			copy(cp, row)
+			j.lRows = append(j.lRows, cp)
+		}
+		j.loaded = true
+	}
+	for {
+		if j.li == 0 {
+			if _, ok := j.peekRight(); !ok {
+				return nil, false
+			}
+		}
+		r := j.currentRight
+		for j.li < len(j.lRows) {
+			l := j.lRows[j.li]
+			j.li++
+			match := true
+			for c := range j.lIdx {
+				if l[j.lIdx[c]] != r[j.rIdx[c]] {
+					match = false
+					break
+				}
+			}
+			if match {
+				copy(j.row, l)
+				copy(j.row[len(l):], r)
+				return j.row, true
+			}
+		}
+		j.li = 0
+		j.currentRight = nil
+	}
+}
+
+// peekRight returns the in-flight probe row, pulling the next right row when
+// none is cached.
+func (j *NestedLoopJoin) peekRight() ([]int64, bool) {
+	if j.currentRight != nil {
+		return j.currentRight, true
+	}
+	r, ok := j.right.Next()
+	if !ok {
+		return nil, false
+	}
+	cp := make([]int64, len(r))
+	copy(cp, r)
+	j.currentRight = cp
+	return cp, true
+}
+
+// Reset implements Operator.
+func (j *NestedLoopJoin) Reset() {
+	j.right.Reset()
+	j.li = 0
+	j.currentRight = nil
+}
+
+// Sort materializes and sorts its input by the given column ascending.
+type Sort struct {
+	in     Operator
+	col    string
+	idx    int
+	rows   [][]int64
+	sorted bool
+	pos    int
+}
+
+// NewSort sorts in by col ascending.
+func NewSort(in Operator, col string) (*Sort, error) {
+	i, err := columnIndex(in.Columns(), col)
+	if err != nil {
+		return nil, err
+	}
+	return &Sort{in: in, col: col, idx: i}, nil
+}
+
+// Columns implements Operator.
+func (s *Sort) Columns() []string { return s.in.Columns() }
+
+// Next implements Operator.
+func (s *Sort) Next() ([]int64, bool) {
+	if !s.sorted {
+		for {
+			row, ok := s.in.Next()
+			if !ok {
+				break
+			}
+			cp := make([]int64, len(row))
+			copy(cp, row)
+			s.rows = append(s.rows, cp)
+		}
+		sort.SliceStable(s.rows, func(i, j int) bool { return s.rows[i][s.idx] < s.rows[j][s.idx] })
+		s.sorted = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true
+}
+
+// Reset implements Operator.
+func (s *Sort) Reset() { s.pos = 0 }
+
+// MergeJoin equi-joins two inputs sorted on their single join columns.
+type MergeJoin struct {
+	left, right Operator
+	lIdx, rIdx  int
+	cols        []string
+	row         []int64
+
+	lRow, rRow   []int64
+	lDone, rDone bool
+	group        [][]int64 // left rows sharing the current key
+	gi           int
+	started      bool
+}
+
+// NewMergeJoin joins two inputs that are sorted ascending on leftCol and
+// rightCol respectively.
+func NewMergeJoin(left, right Operator, leftCol, rightCol string) (*MergeJoin, error) {
+	li, err := columnIndex(left.Columns(), leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := columnIndex(right.Columns(), rightCol)
+	if err != nil {
+		return nil, err
+	}
+	j := &MergeJoin{left: left, right: right, lIdx: li, rIdx: ri}
+	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	j.row = make([]int64, len(j.cols))
+	return j, nil
+}
+
+// Columns implements Operator.
+func (j *MergeJoin) Columns() []string { return j.cols }
+
+func (j *MergeJoin) advanceLeft() {
+	row, ok := j.left.Next()
+	if !ok {
+		j.lDone = true
+		j.lRow = nil
+		return
+	}
+	cp := make([]int64, len(row))
+	copy(cp, row)
+	j.lRow = cp
+}
+
+func (j *MergeJoin) advanceRight() {
+	row, ok := j.right.Next()
+	if !ok {
+		j.rDone = true
+		j.rRow = nil
+		return
+	}
+	cp := make([]int64, len(row))
+	copy(cp, row)
+	j.rRow = cp
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next() ([]int64, bool) {
+	if !j.started {
+		j.advanceLeft()
+		j.advanceRight()
+		j.started = true
+	}
+	for {
+		// Emit remaining pairs for the current right row and left group.
+		if j.gi < len(j.group) && j.rRow != nil {
+			l := j.group[j.gi]
+			j.gi++
+			copy(j.row, l)
+			copy(j.row[len(l):], j.rRow)
+			return j.row, true
+		}
+		if j.gi >= len(j.group) && len(j.group) > 0 && j.rRow != nil {
+			// Finished pairing this right row with the group; move to the
+			// next right row and re-pair if the key still matches.
+			key := j.group[0][j.lIdx]
+			j.advanceRight()
+			if j.rRow != nil && j.rRow[j.rIdx] == key {
+				j.gi = 0
+				continue
+			}
+			j.group = nil
+			j.gi = 0
+			continue
+		}
+		if j.lDone || j.rDone || j.lRow == nil || j.rRow == nil {
+			return nil, false
+		}
+		lk, rk := j.lRow[j.lIdx], j.rRow[j.rIdx]
+		switch {
+		case lk < rk:
+			j.advanceLeft()
+		case lk > rk:
+			j.advanceRight()
+		default:
+			// Collect the full left group for this key.
+			j.group = j.group[:0]
+			for j.lRow != nil && j.lRow[j.lIdx] == lk {
+				j.group = append(j.group, j.lRow)
+				j.advanceLeft()
+			}
+			j.gi = 0
+		}
+	}
+}
+
+// Reset implements Operator.
+func (j *MergeJoin) Reset() {
+	j.left.Reset()
+	j.right.Reset()
+	j.lRow, j.rRow = nil, nil
+	j.lDone, j.rDone = false, false
+	j.group, j.gi = nil, 0
+	j.started = false
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"github.com/sitstats/sits/internal/datagen"
+	"github.com/sitstats/sits/internal/exec"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sit"
+	"github.com/sitstats/sits/internal/workload"
+)
+
+// AcyclicConfig parameterizes the acyclic-query accuracy experiment — an
+// extension of Figure 7 to the tree-shaped generating queries of Section 3.2
+// (the paper evaluates chains only; this exercises the post-order join-tree
+// construction with branching and a snowflaked dimension).
+type AcyclicConfig struct {
+	Star    datagen.StarConfig
+	Buckets int
+	Queries int
+	Methods []sit.Method
+	Seed    int64
+}
+
+// DefaultAcyclicConfig returns the default snowflake experiment.
+func DefaultAcyclicConfig() AcyclicConfig {
+	return AcyclicConfig{
+		Star:    datagen.DefaultStarConfig(),
+		Buckets: 100,
+		Queries: 1000,
+		Methods: sit.Methods(),
+		Seed:    19,
+	}
+}
+
+// AcyclicCell is one measured technique.
+type AcyclicCell struct {
+	Method        sit.Method
+	Accuracy      workload.Result
+	BuildTime     time.Duration
+	EstimatedCard float64
+	TrueCard      float64
+}
+
+// RunAcyclic builds SIT(F.a | F ⋈ D1 (⋈ E) ⋈ D2) with every technique and
+// scores it against the materialized ground truth.
+func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
+	cat, err := datagen.StarDB(cfg.Star)
+	if err != nil {
+		return nil, err
+	}
+	preds := []query.JoinPred{
+		{LeftTable: "F", LeftAttr: "k1", RightTable: "D1", RightAttr: "id"},
+		{LeftTable: "F", LeftAttr: "k2", RightTable: "D2", RightAttr: "id"},
+	}
+	if cfg.Star.SubDimRows > 0 {
+		preds = append(preds, query.JoinPred{LeftTable: "D1", LeftAttr: "e", RightTable: "E", RightAttr: "id"})
+	}
+	expr, err := query.NewExpr(preds...)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := query.NewSITSpec("F", "a", expr)
+	if err != nil {
+		return nil, err
+	}
+	truthVals, err := exec.AttrValues(cat, expr, "F", "a")
+	if err != nil {
+		return nil, err
+	}
+	truth := workload.NewTruth(truthVals)
+	lo, ok := truth.Min()
+	if !ok {
+		return nil, fmt.Errorf("experiments: snowflake join result is empty")
+	}
+	hi, _ := truth.Max()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	minCount := int64(float64(truth.Len()) * 0.0005)
+	if minCount < 10 {
+		minCount = 10
+	}
+	queries, err := workload.FilteredRangeQueries(rng, lo, hi, cfg.Queries, minCount, truth)
+	if err != nil {
+		return nil, err
+	}
+	var out []AcyclicCell
+	for _, m := range cfg.Methods {
+		bcfg := sit.DefaultConfig()
+		bcfg.Buckets = cfg.Buckets
+		bcfg.Seed = cfg.Seed
+		builder, err := sit.NewBuilder(cat, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		s, err := builder.Build(spec, m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: acyclic %v: %w", m, err)
+		}
+		elapsed := time.Since(start)
+		acc, err := workload.Evaluate(s, truth, queries)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AcyclicCell{
+			Method: m, Accuracy: acc, BuildTime: elapsed,
+			EstimatedCard: s.EstimatedCard, TrueCard: float64(truth.Len()),
+		})
+	}
+	return out, nil
+}
+
+// PrintAcyclic renders the experiment as a table.
+func PrintAcyclic(w io.Writer, cfg AcyclicConfig, cells []AcyclicCell) error {
+	fmt.Fprintf(w, "\nAcyclic (snowflake) generating query — SIT(F.a | F ⋈ D1 (⋈ E) ⋈ D2), nb=%d, %d range queries\n",
+		cfg.Buckets, cfg.Queries)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "technique\tmedian err %\tmean err %\tcard est\ttrue card\tbuild time")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.0f\t%.0f\t%v\n",
+			c.Method, 100*c.Accuracy.MedianRelError, 100*c.Accuracy.AvgRelError,
+			c.EstimatedCard, c.TrueCard, c.BuildTime.Round(100*time.Microsecond))
+	}
+	return tw.Flush()
+}

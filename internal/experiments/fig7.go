@@ -1,0 +1,210 @@
+// Package experiments contains the harnesses that regenerate every figure of
+// the paper's evaluation (Section 5): Figure 7 (single-SIT accuracy across
+// creation techniques and generating-query complexity), the uniform-data
+// experiment described in Section 5.1's prose, and Figures 8-10 (multi-SIT
+// scheduling cost and optimization time under varying numSITs, table counts
+// and memory budgets). The harnesses are shared by cmd/sitbench and the
+// repository's benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/sitstats/sits/internal/datagen"
+	"github.com/sitstats/sits/internal/exec"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sit"
+	"github.com/sitstats/sits/internal/workload"
+)
+
+// Fig7Config parameterizes the single-SIT accuracy experiment of Section 5.1.
+type Fig7Config struct {
+	// Chain describes the synthetic database (Section 5.1: 4 tables,
+	// 10k-100k tuples, skewed join attributes with z=1 for Figure 7).
+	Chain datagen.ChainConfig
+	// JoinWays lists the generating-query complexities; the paper uses
+	// 2-, 3- and 4-way chain joins (Figures 7(a), 7(b), 7(c)).
+	JoinWays []int
+	// Buckets lists the histogram sizes swept on the x-axis.
+	Buckets []int
+	// Queries is the number of random range queries (the paper uses 1,000).
+	Queries int
+	// SampleRate is Sweep's sampling rate (the paper uses 10%).
+	SampleRate float64
+	// Methods lists the creation techniques to compare.
+	Methods []sit.Method
+	// Seed drives query generation and sampling.
+	Seed int64
+}
+
+// DefaultFig7Config returns the paper's setting, scaled to run in seconds.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Chain:      datagen.DefaultChainConfig(),
+		JoinWays:   []int{2, 3, 4},
+		Buckets:    []int{20, 50, 100, 200},
+		Queries:    1000,
+		SampleRate: 0.10,
+		Methods:    sit.Methods(),
+		Seed:       7,
+	}
+}
+
+// Fig7Cell is one measured point: a technique at a join width and bucket
+// budget.
+type Fig7Cell struct {
+	Way     int
+	Buckets int
+	Method  sit.Method
+	// Accuracy holds the relative-error aggregates over the random queries.
+	Accuracy workload.Result
+	// BuildTime is the wall-clock SIT creation time.
+	BuildTime time.Duration
+	// EstimatedCard / TrueCard compare creation-time cardinality knowledge.
+	EstimatedCard float64
+	TrueCard      float64
+}
+
+// Fig7Result is the full sweep.
+type Fig7Result struct {
+	Config Fig7Config
+	Cells  []Fig7Cell
+}
+
+// chainSpec builds the SIT spec for a w-way chain join over the synthetic
+// database: SIT(Tw.a | T1 join ... join Tw), with the SIT attribute on the
+// last table as in Example 2.
+func chainSpec(w int) (query.SITSpec, error) {
+	if w < 2 {
+		return query.SITSpec{}, fmt.Errorf("experiments: join width %d must be >= 2", w)
+	}
+	tables := make([]string, w)
+	outs := make([]string, w-1)
+	ins := make([]string, w-1)
+	for i := 0; i < w; i++ {
+		tables[i] = datagen.ChainTableName(i + 1)
+	}
+	for i := 0; i < w-1; i++ {
+		outs[i] = "jnext"
+		ins[i] = "jprev"
+	}
+	e, err := query.Chain(tables, outs, ins)
+	if err != nil {
+		return query.SITSpec{}, err
+	}
+	return query.NewSITSpec(tables[w-1], "a", e)
+}
+
+// RunFigure7 executes the accuracy sweep.
+func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("experiments: query count must be positive")
+	}
+	cat, err := datagen.ChainDB(cfg.Chain)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Config: cfg}
+	for _, w := range cfg.JoinWays {
+		if w > cfg.Chain.Tables {
+			return nil, fmt.Errorf("experiments: %d-way join exceeds the %d-table database", w, cfg.Chain.Tables)
+		}
+		spec, err := chainSpec(w)
+		if err != nil {
+			return nil, err
+		}
+		truthVals, err := exec.AttrValues(cat, spec.Expr, spec.Table, spec.Attr)
+		if err != nil {
+			return nil, err
+		}
+		truth := workload.NewTruth(truthVals)
+		lo, ok := truth.Min()
+		if !ok {
+			return nil, fmt.Errorf("experiments: %d-way join result is empty", w)
+		}
+		hi, _ := truth.Max()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+		// Keep queries whose true result is at least 0.05% of the join
+		// result (floored at 10 tuples): zipfian join attributes concentrate
+		// the result mass enormously, and ranges falling entirely into the
+		// near-empty tail measure nothing but division by almost zero.
+		minCount := int64(float64(truth.Len()) * 0.0005)
+		if minCount < 10 {
+			minCount = 10
+		}
+		queries, err := workload.FilteredRangeQueries(rng, lo, hi, cfg.Queries, minCount, truth)
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range cfg.Buckets {
+			bcfg := sit.DefaultConfig()
+			bcfg.Buckets = nb
+			bcfg.SampleRate = cfg.SampleRate
+			// The tables are scaled ~10x below the paper's 10k-100k rows (see
+			// DESIGN.md); flooring the reservoir keeps the absolute sample
+			// sizes in the paper's regime so sampling noise is comparable.
+			bcfg.MinSample = 500
+			bcfg.Seed = cfg.Seed
+			builder, err := sit.NewBuilder(cat, bcfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range cfg.Methods {
+				start := time.Now()
+				s, err := builder.Build(spec, m)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: building %s with %v: %w", spec.String(), m, err)
+				}
+				elapsed := time.Since(start)
+				acc, err := workload.Evaluate(s, truth, queries)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Fig7Cell{
+					Way:           w,
+					Buckets:       nb,
+					Method:        m,
+					Accuracy:      acc,
+					BuildTime:     elapsed,
+					EstimatedCard: s.EstimatedCard,
+					TrueCard:      float64(truth.Len()),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the measured cell for (way, buckets, method), or ok=false.
+func (r *Fig7Result) Cell(way, buckets int, m sit.Method) (Fig7Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Way == way && c.Buckets == buckets && c.Method == m {
+			return c, true
+		}
+	}
+	return Fig7Cell{}, false
+}
+
+// UniformConfig returns the Figure 7 configuration altered for the prose
+// experiment of Section 5.1: uniformly distributed, independent join
+// attributes, under which every technique should be accurate (relative errors
+// of a few percent, with the sampling-based techniques slightly worse).
+// Uniform equi-joins shrink with the domain instead of exploding with skew,
+// so this configuration uses larger tables and a tighter join domain than the
+// skewed default to keep join results — and reservoir samples — big enough to
+// measure sampling noise against.
+func UniformConfig() Fig7Config {
+	cfg := DefaultFig7Config()
+	cfg.Chain.JoinZ = 0
+	cfg.Chain.CorrelateSIT = false
+	cfg.Chain.Rows = []int{4000, 3000, 2500, 2000}
+	cfg.Chain.Domain = 400
+	// A dense SIT-attribute domain keeps the true counts of narrow range
+	// queries away from zero, so relative errors measure estimation quality
+	// rather than the sparsity of the value domain.
+	cfg.Chain.PayloadDomain = 500
+	cfg.Buckets = []int{100}
+	return cfg
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PrintFigure7 renders the accuracy sweep as two tables per join width,
+// mirroring Figures 7(a)-(c): rows are histogram sizes, columns are
+// techniques, cells are relative errors in percent. The median table is the
+// headline (it tracks the paper's reported bands: Hist-SIT around 100-500%,
+// the Sweep family well below); the mean table follows, where a handful of
+// queries landing in the near-empty zipf tail can dominate.
+func PrintFigure7(w io.Writer, r *Fig7Result, title string) error {
+	metrics := []struct {
+		name string
+		get  func(Fig7Cell) float64
+	}{
+		{"median", func(c Fig7Cell) float64 { return c.Accuracy.MedianRelError }},
+		{"mean", func(c Fig7Cell) float64 { return c.Accuracy.AvgRelError }},
+	}
+	for _, way := range r.Config.JoinWays {
+		for _, metric := range metrics {
+			fmt.Fprintf(w, "\n%s — %d-way chain join (%s relative error %% over %d range queries)\n",
+				title, way, metric.name, r.Config.Queries)
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(tw, "buckets")
+			for _, m := range r.Config.Methods {
+				fmt.Fprintf(tw, "\t%s", m)
+			}
+			fmt.Fprintln(tw)
+			for _, nb := range r.Config.Buckets {
+				fmt.Fprintf(tw, "%d", nb)
+				for _, m := range r.Config.Methods {
+					c, ok := r.Cell(way, nb, m)
+					if !ok {
+						fmt.Fprintf(tw, "\t-")
+						continue
+					}
+					fmt.Fprintf(tw, "\t%.1f", 100*metric.get(c))
+				}
+				fmt.Fprintln(tw)
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrintFigure7BuildTimes renders SIT creation times for the sweep's default
+// bucket budget, a secondary axis the paper discusses qualitatively (Hist-SIT
+// touches no data; SweepExact/Materialize are the most expensive).
+func PrintFigure7BuildTimes(w io.Writer, r *Fig7Result) error {
+	nb := r.Config.Buckets[len(r.Config.Buckets)/2]
+	fmt.Fprintf(w, "\nSIT creation time (nb = %d)\n", nb)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "join ways")
+	for _, m := range r.Config.Methods {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw)
+	for _, way := range r.Config.JoinWays {
+		fmt.Fprintf(tw, "%d", way)
+		for _, m := range r.Config.Methods {
+			c, ok := r.Cell(way, nb, m)
+			if !ok {
+				fmt.Fprintf(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%v", c.BuildTime.Round(100*1000)) // 100µs
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// PrintSchedSweep renders a scheduling sweep as two tables (estimated
+// schedule cost and optimization time), mirroring Figures 8(a)/8(b), 9, 10.
+func PrintSchedSweep(w io.Writer, points []SweepPoint, xLabel, title string) error {
+	techs := AllTechniques()
+	fmt.Fprintf(w, "\n%s — average estimated schedule cost\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", xLabel)
+	for _, t := range techs {
+		fmt.Fprintf(tw, "\t%s", t)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range points {
+		fmt.Fprintf(tw, "%g", p.X)
+		for _, t := range techs {
+			tp, ok := p.Techniques[t]
+			if !ok {
+				fmt.Fprintf(tw, "\t-")
+				continue
+			}
+			if tp.Failures > 0 {
+				fmt.Fprintf(tw, "\t%.0f(!%d)", tp.AvgCost, tp.Failures)
+			} else {
+				fmt.Fprintf(tw, "\t%.0f", tp.AvgCost)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s — average optimization time\n", title)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", xLabel)
+	for _, t := range techs {
+		fmt.Fprintf(tw, "\t%s", t)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range points {
+		fmt.Fprintf(tw, "%g", p.X)
+		for _, t := range techs {
+			tp, ok := p.Techniques[t]
+			if !ok {
+				fmt.Fprintf(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%v", tp.AvgOptTime.Round(10000)) // 10µs
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

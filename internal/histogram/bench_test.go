@@ -1,0 +1,58 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchHist(b *testing.B, nb int) *Histogram {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = rng.Int63n(10000)
+	}
+	h, err := FromValues(vals, nb, MaxDiffArea)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkEstimateRange measures the per-query estimation cost.
+func BenchmarkEstimateRange(b *testing.B) {
+	h := benchHist(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.EstimateRange(int64(i%5000), int64(i%5000)+2000)
+	}
+}
+
+// BenchmarkLocate measures the m-Oracle's bucket lookup.
+func BenchmarkLocate(b *testing.B) {
+	h := benchHist(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Locate(int64(i % 10000))
+	}
+}
+
+// BenchmarkContainmentMultiplicity measures one m-Oracle probe.
+func BenchmarkContainmentMultiplicity(b *testing.B) {
+	h1 := benchHist(b, 100)
+	h2 := benchHist(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ContainmentMultiplicity(h1, h2, int64(i%10000))
+	}
+}
+
+// BenchmarkJoinCardinality measures the containment join estimate.
+func BenchmarkJoinCardinality(b *testing.B) {
+	h1 := benchHist(b, 100)
+	h2 := benchHist(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinCardinality(h1, h2)
+	}
+}

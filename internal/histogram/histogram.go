@@ -1,0 +1,418 @@
+// Package histogram implements the statistics substrate the paper builds on:
+// single-attribute bucket histograms with frequency and distinct-value counts
+// per bucket, the MaxDiff construction family the paper uses ("a variant of
+// MaxDiff histograms [14] which are natively supported in Microsoft SQL
+// Server 2000", Section 5.1), equi-depth and equi-width constructions for
+// ablation, range-cardinality estimation under the uniform-spread assumption,
+// containment-assumption join estimation, and independence-assumption
+// propagation (scaling).
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket is one histogram bucket over the inclusive integer value range
+// [Lo, Hi]. Freq is the (possibly fractional, when derived from estimation)
+// number of tuples in the range, Distinct the number of distinct values.
+type Bucket struct {
+	Lo, Hi   int64
+	Freq     float64
+	Distinct float64
+}
+
+// Width returns the number of integer values covered by the bucket.
+func (b Bucket) Width() float64 { return float64(b.Hi-b.Lo) + 1 }
+
+// Contains reports whether v lies in the bucket's range.
+func (b Bucket) Contains(v int64) bool { return v >= b.Lo && v <= b.Hi }
+
+// Histogram is an ordered sequence of non-overlapping buckets.
+type Histogram struct {
+	Buckets []Bucket
+}
+
+// ValueFreq is a (value, frequency) pair; construction inputs are sequences
+// of these sorted by value. Fractional frequencies arise when building
+// histograms over estimated intermediate results (e.g. SweepFull streams).
+type ValueFreq struct {
+	Value int64
+	Freq  float64
+}
+
+// Method selects a histogram construction algorithm.
+type Method int
+
+const (
+	// MaxDiffArea is MaxDiff(V,A) of Poosala et al.: bucket boundaries are
+	// placed at the largest differences in "area" (frequency times spread)
+	// between adjacent attribute values. This is the default and the variant
+	// the paper's experiments use.
+	MaxDiffArea Method = iota
+	// MaxDiffFreq is MaxDiff(V,F): boundaries at the largest differences in
+	// frequency between adjacent values.
+	MaxDiffFreq
+	// EquiDepth places boundaries so each bucket holds roughly equal total
+	// frequency.
+	EquiDepth
+	// EquiWidth places boundaries so each bucket covers an equal value range.
+	EquiWidth
+	// VOptimal minimizes total within-bucket frequency variance via dynamic
+	// programming (O(m^2 nb) over m distinct values; see FromPairsVOptimal).
+	VOptimal
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case MaxDiffArea:
+		return "maxdiff-area"
+	case MaxDiffFreq:
+		return "maxdiff-freq"
+	case EquiDepth:
+		return "equidepth"
+	case EquiWidth:
+		return "equiwidth"
+	case VOptimal:
+		return "v-optimal"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// FromValues builds a histogram with at most nb buckets over raw values.
+func FromValues(vals []int64, nb int, m Method) (*Histogram, error) {
+	return FromPairs(Tally(vals), nb, m)
+}
+
+// Tally aggregates raw values into sorted (value, frequency) pairs.
+func Tally(vals []int64) []ValueFreq {
+	counts := make(map[int64]float64, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	return TallyMap(counts)
+}
+
+// TallyMap converts a value->frequency map into sorted pairs, dropping
+// non-positive frequencies.
+func TallyMap(counts map[int64]float64) []ValueFreq {
+	pairs := make([]ValueFreq, 0, len(counts))
+	for v, f := range counts {
+		if f > 0 {
+			pairs = append(pairs, ValueFreq{Value: v, Freq: f})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Value < pairs[j].Value })
+	return pairs
+}
+
+// FromPairs builds a histogram with at most nb buckets from sorted
+// (value, frequency) pairs.
+func FromPairs(pairs []ValueFreq, nb int, m Method) (*Histogram, error) {
+	if nb <= 0 {
+		return nil, fmt.Errorf("histogram: bucket count %d must be positive", nb)
+	}
+	for i := range pairs {
+		if pairs[i].Freq < 0 || math.IsNaN(pairs[i].Freq) || math.IsInf(pairs[i].Freq, 0) {
+			return nil, fmt.Errorf("histogram: invalid frequency %v for value %d", pairs[i].Freq, pairs[i].Value)
+		}
+		if i > 0 && pairs[i].Value <= pairs[i-1].Value {
+			return nil, fmt.Errorf("histogram: pairs not strictly sorted at index %d", i)
+		}
+	}
+	if len(pairs) == 0 {
+		return &Histogram{}, nil
+	}
+	var breaks []int
+	switch m {
+	case MaxDiffArea, MaxDiffFreq:
+		breaks = maxDiffBreaks(pairs, nb, m == MaxDiffArea)
+	case EquiDepth:
+		breaks = equiDepthBreaks(pairs, nb)
+	case EquiWidth:
+		breaks = equiWidthBreaks(pairs, nb)
+	case VOptimal:
+		return FromPairsVOptimal(pairs, nb)
+	default:
+		return nil, fmt.Errorf("histogram: unknown method %v", m)
+	}
+	return fromBreaks(pairs, breaks), nil
+}
+
+// fromBreaks builds buckets from break positions: a break at i starts a new
+// bucket at pairs[i]. Position 0 is always an implicit break.
+func fromBreaks(pairs []ValueFreq, breaks []int) *Histogram {
+	sort.Ints(breaks)
+	h := &Histogram{}
+	start := 0
+	flush := func(end int) { // pairs[start:end] become one bucket
+		if end <= start {
+			return
+		}
+		b := Bucket{Lo: pairs[start].Value, Hi: pairs[end-1].Value}
+		for _, p := range pairs[start:end] {
+			b.Freq += p.Freq
+			b.Distinct++
+		}
+		h.Buckets = append(h.Buckets, b)
+		start = end
+	}
+	for _, br := range breaks {
+		if br > start && br < len(pairs) {
+			flush(br)
+		}
+	}
+	flush(len(pairs))
+	return h
+}
+
+// maxDiffBreaks places nb-1 boundaries at the largest adjacent differences in
+// area (or frequency). The "area" of value v_i is f_i * spread_i where
+// spread_i = v_{i+1} - v_i (the last value's spread is taken as 1).
+func maxDiffBreaks(pairs []ValueFreq, nb int, useArea bool) []int {
+	n := len(pairs)
+	if n <= nb {
+		// One bucket per value: exact histogram.
+		breaks := make([]int, n)
+		for i := range breaks {
+			breaks[i] = i
+		}
+		return breaks
+	}
+	metric := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := pairs[i].Freq
+		if useArea {
+			spread := 1.0
+			if i+1 < n {
+				spread = float64(pairs[i+1].Value - pairs[i].Value)
+			}
+			m *= spread
+		}
+		metric[i] = m
+	}
+	type diff struct {
+		pos int // break before pairs[pos]
+		d   float64
+	}
+	diffs := make([]diff, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		diffs = append(diffs, diff{pos: i + 1, d: math.Abs(metric[i+1] - metric[i])})
+	}
+	sort.Slice(diffs, func(i, j int) bool {
+		if diffs[i].d != diffs[j].d {
+			return diffs[i].d > diffs[j].d
+		}
+		return diffs[i].pos < diffs[j].pos // deterministic tie-break
+	})
+	breaks := make([]int, 0, nb-1)
+	for i := 0; i < nb-1 && i < len(diffs); i++ {
+		breaks = append(breaks, diffs[i].pos)
+	}
+	return breaks
+}
+
+// equiDepthBreaks places boundaries so each bucket carries roughly total/nb
+// frequency.
+func equiDepthBreaks(pairs []ValueFreq, nb int) []int {
+	total := 0.0
+	for _, p := range pairs {
+		total += p.Freq
+	}
+	target := total / float64(nb)
+	if target <= 0 {
+		return nil
+	}
+	var breaks []int
+	acc := 0.0
+	for i, p := range pairs {
+		acc += p.Freq
+		if acc >= target && i+1 < len(pairs) && len(breaks) < nb-1 {
+			breaks = append(breaks, i+1)
+			acc = 0
+		}
+	}
+	return breaks
+}
+
+// equiWidthBreaks places boundaries so each bucket covers an equal slice of
+// the overall value range.
+func equiWidthBreaks(pairs []ValueFreq, nb int) []int {
+	lo := pairs[0].Value
+	hi := pairs[len(pairs)-1].Value
+	width := float64(hi-lo+1) / float64(nb)
+	if width <= 0 {
+		return nil
+	}
+	var breaks []int
+	next := 1
+	for i, p := range pairs {
+		for next < nb && float64(p.Value-lo) >= float64(next)*width {
+			if i > 0 {
+				breaks = append(breaks, i)
+			}
+			next++
+		}
+	}
+	return breaks
+}
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.Buckets) }
+
+// TotalFreq returns the sum of bucket frequencies (the estimated relation
+// cardinality the histogram describes).
+func (h *Histogram) TotalFreq() float64 {
+	t := 0.0
+	for _, b := range h.Buckets {
+		t += b.Freq
+	}
+	return t
+}
+
+// TotalDistinct returns the sum of per-bucket distinct counts.
+func (h *Histogram) TotalDistinct() float64 {
+	t := 0.0
+	for _, b := range h.Buckets {
+		t += b.Distinct
+	}
+	return t
+}
+
+// Min returns the smallest covered value; ok is false for empty histograms.
+func (h *Histogram) Min() (int64, bool) {
+	if len(h.Buckets) == 0 {
+		return 0, false
+	}
+	return h.Buckets[0].Lo, true
+}
+
+// Max returns the largest covered value; ok is false for empty histograms.
+func (h *Histogram) Max() (int64, bool) {
+	if len(h.Buckets) == 0 {
+		return 0, false
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi, true
+}
+
+// Locate returns the bucket containing v, or ok=false when v falls outside
+// every bucket (before the first, after the last, or in a gap).
+func (h *Histogram) Locate(v int64) (Bucket, bool) {
+	i := sort.Search(len(h.Buckets), func(i int) bool { return h.Buckets[i].Hi >= v })
+	if i >= len(h.Buckets) || !h.Buckets[i].Contains(v) {
+		return Bucket{}, false
+	}
+	return h.Buckets[i], true
+}
+
+// EstimateEq estimates the number of tuples with value exactly v, using the
+// uniform-spread assumption inside the containing bucket.
+func (h *Histogram) EstimateEq(v int64) float64 {
+	b, ok := h.Locate(v)
+	if !ok || b.Distinct == 0 {
+		return 0
+	}
+	return b.Freq / b.Distinct
+}
+
+// EstimateRange estimates the number of tuples with lo <= value <= hi under
+// the uniform-spread assumption.
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if hi < lo {
+		return 0
+	}
+	est := 0.0
+	for _, b := range h.Buckets {
+		if b.Hi < lo || b.Lo > hi {
+			continue
+		}
+		oLo, oHi := b.Lo, b.Hi
+		if lo > oLo {
+			oLo = lo
+		}
+		if hi < oHi {
+			oHi = hi
+		}
+		frac := (float64(oHi-oLo) + 1) / b.Width()
+		est += b.Freq * frac
+	}
+	return est
+}
+
+// EstimateLess estimates the number of tuples with value < c.
+func (h *Histogram) EstimateLess(c int64) float64 {
+	return h.EstimateRange(math.MinInt64, c-1)
+}
+
+// ScaleTo returns a copy whose total frequency equals total, implementing the
+// independence-assumption propagation step of Section 2.1: "bucket
+// frequencies are uniformly scaled down so that the sum of all frequencies in
+// the propagated histogram equals the estimated cardinality of the join".
+// Distinct counts are clamped so they never exceed the scaled frequency.
+func (h *Histogram) ScaleTo(total float64) *Histogram {
+	cur := h.TotalFreq()
+	if cur == 0 {
+		return &Histogram{}
+	}
+	return h.Scale(total / cur)
+}
+
+// Scale returns a copy with all frequencies multiplied by factor.
+func (h *Histogram) Scale(factor float64) *Histogram {
+	out := &Histogram{Buckets: make([]Bucket, len(h.Buckets))}
+	copy(out.Buckets, h.Buckets)
+	for i := range out.Buckets {
+		out.Buckets[i].Freq *= factor
+		if out.Buckets[i].Distinct > out.Buckets[i].Freq {
+			out.Buckets[i].Distinct = out.Buckets[i].Freq
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{Buckets: make([]Bucket, len(h.Buckets))}
+	copy(out.Buckets, h.Buckets)
+	return out
+}
+
+// Validate checks structural invariants: buckets ordered, non-overlapping,
+// with non-negative frequencies and distinct counts no larger than width or
+// frequency (where frequency is at least 1).
+func (h *Histogram) Validate() error {
+	for i, b := range h.Buckets {
+		if b.Hi < b.Lo {
+			return fmt.Errorf("histogram: bucket %d has Hi < Lo (%d < %d)", i, b.Hi, b.Lo)
+		}
+		if b.Freq < 0 || math.IsNaN(b.Freq) || math.IsInf(b.Freq, 0) {
+			return fmt.Errorf("histogram: bucket %d has invalid frequency %v", i, b.Freq)
+		}
+		if b.Distinct < 0 || b.Distinct > b.Width() {
+			return fmt.Errorf("histogram: bucket %d distinct %v out of [0,%v]", i, b.Distinct, b.Width())
+		}
+		if i > 0 && h.Buckets[i-1].Hi >= b.Lo {
+			return fmt.Errorf("histogram: buckets %d and %d overlap or are unordered", i-1, i)
+		}
+	}
+	return nil
+}
+
+// String renders a compact textual form, useful in tools and tests.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram{%d buckets, freq=%.1f", len(h.Buckets), h.TotalFreq())
+	for i, b := range h.Buckets {
+		if i >= 8 {
+			sb.WriteString(", ...")
+			break
+		}
+		fmt.Fprintf(&sb, ", [%d,%d]:f=%.1f,d=%.0f", b.Lo, b.Hi, b.Freq, b.Distinct)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,222 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist2D is a two-dimensional equi-depth grid histogram over attribute pairs.
+// Section 3.2 of the paper notes that generating queries with several join
+// predicates between the same table pair ("R ⋈_{R.w=S.x ∧ R.y=S.z} S")
+// require multidimensional histograms for the m-Oracle; this type implements
+// that deferred extension. Construction follows the classic PHASED approach:
+// equi-depth partitioning on the first attribute, then an independent
+// equi-depth partitioning of each slice on the second.
+type Hist2D struct {
+	// Cells are disjoint rectangles covering the populated part of the
+	// domain, row-major by the first attribute's slices.
+	Cells []Cell2D
+}
+
+// Cell2D is one rectangular bucket of a 2-D histogram.
+type Cell2D struct {
+	Lo1, Hi1 int64 // inclusive range of the first attribute
+	Lo2, Hi2 int64 // inclusive range of the second attribute
+	Freq     float64
+	// Distinct estimates the number of distinct (v1, v2) pairs in the cell.
+	Distinct float64
+}
+
+// Width returns the number of integer points covered by the cell.
+func (c Cell2D) Width() float64 {
+	return (float64(c.Hi1-c.Lo1) + 1) * (float64(c.Hi2-c.Lo2) + 1)
+}
+
+// Contains reports whether the point lies in the cell.
+func (c Cell2D) Contains(v1, v2 int64) bool {
+	return v1 >= c.Lo1 && v1 <= c.Hi1 && v2 >= c.Lo2 && v2 <= c.Hi2
+}
+
+// Build2D constructs a PHASED equi-depth 2-D histogram with at most
+// slices1 x slices2 cells over the paired columns, which must have equal
+// length.
+func Build2D(col1, col2 []int64, slices1, slices2 int) (*Hist2D, error) {
+	if len(col1) != len(col2) {
+		return nil, fmt.Errorf("histogram: Build2D columns have different lengths (%d vs %d)", len(col1), len(col2))
+	}
+	if slices1 <= 0 || slices2 <= 0 {
+		return nil, fmt.Errorf("histogram: Build2D slice counts must be positive")
+	}
+	n := len(col1)
+	if n == 0 {
+		return &Hist2D{}, nil
+	}
+	pts := make([]pair2, n)
+	for i := range col1 {
+		pts[i] = pair2{col1[i], col2[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].a != pts[j].a {
+			return pts[i].a < pts[j].a
+		}
+		return pts[i].b < pts[j].b
+	})
+	h := &Hist2D{}
+	per1 := (n + slices1 - 1) / slices1
+	for start := 0; start < n; {
+		end := start + per1
+		if end > n {
+			end = n
+		}
+		// Never split a run of equal first-attribute values across slices:
+		// extend the slice to the run's end.
+		for end < n && pts[end].a == pts[end-1].a {
+			end++
+		}
+		slice := pts[start:end]
+		lo1, hi1 := slice[0].a, slice[len(slice)-1].a
+		// Second-phase equi-depth over the slice's second attribute.
+		bs := make([]int64, len(slice))
+		for i, p := range slice {
+			bs[i] = p.b
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		per2 := (len(bs) + slices2 - 1) / slices2
+		for s2 := 0; s2 < len(bs); {
+			e2 := s2 + per2
+			if e2 > len(bs) {
+				e2 = len(bs)
+			}
+			for e2 < len(bs) && bs[e2] == bs[e2-1] {
+				e2++
+			}
+			cell := Cell2D{Lo1: lo1, Hi1: hi1, Lo2: bs[s2], Hi2: bs[e2-1], Freq: float64(e2 - s2)}
+			cell.Distinct = float64(countDistinctPairs(slice, bs[s2], bs[e2-1]))
+			h.Cells = append(h.Cells, cell)
+			s2 = e2
+		}
+		start = end
+	}
+	return h, nil
+}
+
+// pair2 is one (first, second) attribute pair during 2-D construction.
+type pair2 struct{ a, b int64 }
+
+func countDistinctPairs(slice []pair2, lo2, hi2 int64) int {
+	seen := map[[2]int64]struct{}{}
+	for _, p := range slice {
+		if p.b >= lo2 && p.b <= hi2 {
+			seen[[2]int64{p.a, p.b}] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// TotalFreq returns the total tuple count described by the histogram.
+func (h *Hist2D) TotalFreq() float64 {
+	t := 0.0
+	for _, c := range h.Cells {
+		t += c.Freq
+	}
+	return t
+}
+
+// NumCells returns the number of cells.
+func (h *Hist2D) NumCells() int { return len(h.Cells) }
+
+// EstimateEq estimates the number of tuples with exactly the pair (v1, v2)
+// under the uniform-spread assumption inside the containing cell.
+func (h *Hist2D) EstimateEq(v1, v2 int64) float64 {
+	for _, c := range h.Cells {
+		if c.Contains(v1, v2) {
+			if c.Distinct <= 0 {
+				return 0
+			}
+			return c.Freq / c.Distinct
+		}
+	}
+	return 0
+}
+
+// EstimateRange estimates the number of tuples in the rectangle
+// [lo1,hi1] x [lo2,hi2].
+func (h *Hist2D) EstimateRange(lo1, hi1, lo2, hi2 int64) float64 {
+	if hi1 < lo1 || hi2 < lo2 {
+		return 0
+	}
+	est := 0.0
+	for _, c := range h.Cells {
+		o1 := overlap(c.Lo1, c.Hi1, lo1, hi1)
+		o2 := overlap(c.Lo2, c.Hi2, lo2, hi2)
+		if o1 <= 0 || o2 <= 0 {
+			continue
+		}
+		frac := (o1 * o2) / c.Width()
+		est += c.Freq * frac
+	}
+	return est
+}
+
+func overlap(aLo, aHi, bLo, bHi int64) float64 {
+	lo, hi := aLo, aHi
+	if bLo > lo {
+		lo = bLo
+	}
+	if bHi < hi {
+		hi = bHi
+	}
+	if hi < lo {
+		return 0
+	}
+	return float64(hi-lo) + 1
+}
+
+// Multiplicity2D is the two-predicate m-Oracle: the expected number of
+// R-tuples with (R.w, R.y) = (v1, v2), estimated from hR (a 2-D histogram
+// over R's pair) damped by the probe side's distinct-pair density from hS
+// (over S's pair), generalizing ContainmentMultiplicity to two dimensions.
+func Multiplicity2D(hR, hS *Hist2D, v1, v2 int64) float64 {
+	var cR *Cell2D
+	for i := range hR.Cells {
+		if hR.Cells[i].Contains(v1, v2) {
+			cR = &hR.Cells[i]
+			break
+		}
+	}
+	if cR == nil || cR.Distinct <= 0 {
+		return 0
+	}
+	m := cR.Freq / cR.Distinct
+	for i := range hS.Cells {
+		if hS.Cells[i].Contains(v1, v2) && hS.Cells[i].Distinct > 0 {
+			densR := cR.Distinct / cR.Width()
+			densS := hS.Cells[i].Distinct / hS.Cells[i].Width()
+			if densS > densR {
+				m *= densR / densS
+			}
+			break
+		}
+	}
+	return m
+}
+
+// Validate checks structural invariants: positive frequencies, distinct
+// counts within bounds, and well-formed rectangles. (Cells from the PHASED
+// construction may share first-attribute boundaries, so overlap is not
+// checked.)
+func (h *Hist2D) Validate() error {
+	for i, c := range h.Cells {
+		if c.Hi1 < c.Lo1 || c.Hi2 < c.Lo2 {
+			return fmt.Errorf("histogram: 2-D cell %d has inverted bounds", i)
+		}
+		if c.Freq < 0 || math.IsNaN(c.Freq) || math.IsInf(c.Freq, 0) {
+			return fmt.Errorf("histogram: 2-D cell %d has invalid frequency %v", i, c.Freq)
+		}
+		if c.Distinct < 0 || c.Distinct > c.Width() || c.Distinct > c.Freq {
+			return fmt.Errorf("histogram: 2-D cell %d distinct %v out of bounds", i, c.Distinct)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuild2DErrors(t *testing.T) {
+	if _, err := Build2D([]int64{1}, []int64{1, 2}, 4, 4); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Build2D(nil, nil, 0, 4); err == nil {
+		t.Error("zero slices: want error")
+	}
+	h, err := Build2D(nil, nil, 4, 4)
+	if err != nil || h.NumCells() != 0 || h.TotalFreq() != 0 {
+		t.Errorf("empty input: %v, %v", h, err)
+	}
+}
+
+func TestBuild2DTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 5000
+	c1 := make([]int64, n)
+	c2 := make([]int64, n)
+	for i := 0; i < n; i++ {
+		c1[i] = rng.Int63n(100)
+		c2[i] = rng.Int63n(100)
+	}
+	h, err := Build2D(c1, c2, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.TotalFreq()-float64(n)) > 1e-9 {
+		t.Errorf("TotalFreq = %v, want %d", h.TotalFreq(), n)
+	}
+	// Full-domain range estimate equals the total.
+	if got := h.EstimateRange(math.MinInt32, math.MaxInt32, math.MinInt32, math.MaxInt32); math.Abs(got-float64(n)) > 1e-6 {
+		t.Errorf("full range = %v, want %d", got, n)
+	}
+	// Quadrant estimates are roughly a quarter each on uniform data.
+	q := h.EstimateRange(0, 49, 0, 49)
+	if q < 0.15*float64(n) || q > 0.35*float64(n) {
+		t.Errorf("quadrant estimate %v, want ~%d", q, n/4)
+	}
+}
+
+func TestBuild2DCorrelationCaptured(t *testing.T) {
+	// Perfectly correlated pair: y == x. A 2-D histogram concentrates mass on
+	// the diagonal, so an off-diagonal rectangle should estimate near zero
+	// while the 1-D independence product would predict a quarter of the data.
+	n := 4000
+	c1 := make([]int64, n)
+	c2 := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := int64(i % 100)
+		c1[i], c2[i] = v, v
+	}
+	h, err := Build2D(c1, c2, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offDiag := h.EstimateRange(0, 49, 50, 99)
+	if offDiag > 0.05*float64(n) {
+		t.Errorf("off-diagonal estimate %v should be near zero (independence would say %d)", offDiag, n/4)
+	}
+	onDiag := h.EstimateRange(0, 49, 0, 49)
+	if onDiag < 0.3*float64(n) {
+		t.Errorf("on-diagonal estimate %v too small", onDiag)
+	}
+}
+
+func TestEstimateEq2D(t *testing.T) {
+	// Ten copies each of (1,1) and (2,2).
+	var c1, c2 []int64
+	for i := 0; i < 10; i++ {
+		c1 = append(c1, 1, 2)
+		c2 = append(c2, 1, 2)
+	}
+	h, err := Build2D(c1, c2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateEq(1, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("EstimateEq(1,1) = %v, want 10", got)
+	}
+	if got := h.EstimateEq(50, 50); got != 0 {
+		t.Errorf("EstimateEq outside = %v, want 0", got)
+	}
+}
+
+func TestMultiplicity2D(t *testing.T) {
+	// Build side: 20 tuples of (1,1), 5 of (2,2).
+	var r1, r2 []int64
+	for i := 0; i < 20; i++ {
+		r1 = append(r1, 1)
+		r2 = append(r2, 1)
+	}
+	for i := 0; i < 5; i++ {
+		r1 = append(r1, 2)
+		r2 = append(r2, 2)
+	}
+	hR, err := Build2D(r1, r2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hS, err := Build2D([]int64{1, 2}, []int64{1, 2}, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Multiplicity2D(hR, hS, 1, 1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("m(1,1) = %v, want 20", got)
+	}
+	if got := Multiplicity2D(hR, hS, 2, 2); math.Abs(got-5) > 1e-9 {
+		t.Errorf("m(2,2) = %v, want 5", got)
+	}
+	if got := Multiplicity2D(hR, hS, 9, 9); got != 0 {
+		t.Errorf("m outside = %v, want 0", got)
+	}
+}
+
+// Property: totals preserved, estimates non-negative and bounded by total.
+func TestBuild2DQuick(t *testing.T) {
+	f := func(raw []uint8, s1, s2 uint8) bool {
+		n := len(raw) / 2
+		c1 := make([]int64, n)
+		c2 := make([]int64, n)
+		for i := 0; i < n; i++ {
+			c1[i] = int64(raw[2*i] % 32)
+			c2[i] = int64(raw[2*i+1] % 32)
+		}
+		h, err := Build2D(c1, c2, int(s1%8)+1, int(s2%8)+1)
+		if err != nil {
+			return false
+		}
+		if h.Validate() != nil {
+			return false
+		}
+		if math.Abs(h.TotalFreq()-float64(n)) > 1e-6 {
+			return false
+		}
+		est := h.EstimateRange(0, 15, 8, 31)
+		return est >= -1e-9 && est <= h.TotalFreq()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

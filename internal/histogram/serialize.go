@@ -1,0 +1,54 @@
+package histogram
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serialized is the stable on-disk form of a histogram. A version field
+// guards future format evolution; bucket fields serialize under short names.
+type serialized struct {
+	Version int                `json:"version"`
+	Buckets []serializedBucket `json:"buckets"`
+}
+
+type serializedBucket struct {
+	Lo       int64   `json:"lo"`
+	Hi       int64   `json:"hi"`
+	Freq     float64 `json:"f"`
+	Distinct float64 `json:"d"`
+}
+
+const serializationVersion = 1
+
+// Write serializes the histogram as JSON.
+func (h *Histogram) Write(w io.Writer) error {
+	s := serialized{Version: serializationVersion, Buckets: make([]serializedBucket, len(h.Buckets))}
+	for i, b := range h.Buckets {
+		s.Buckets[i] = serializedBucket{Lo: b.Lo, Hi: b.Hi, Freq: b.Freq, Distinct: b.Distinct}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Read deserializes a histogram previously written with Write and
+// validates its invariants.
+func Read(r io.Reader) (*Histogram, error) {
+	var s serialized
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("histogram: decoding: %w", err)
+	}
+	if s.Version != serializationVersion {
+		return nil, fmt.Errorf("histogram: unsupported serialization version %d", s.Version)
+	}
+	h := &Histogram{Buckets: make([]Bucket, len(s.Buckets))}
+	for i, b := range s.Buckets {
+		h.Buckets[i] = Bucket{Lo: b.Lo, Hi: b.Hi, Freq: b.Freq, Distinct: b.Distinct}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("histogram: deserialized histogram invalid: %w", err)
+	}
+	return h, nil
+}

@@ -1,0 +1,193 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrPair is one parent/child attribute pair of a join-tree edge.
+type AttrPair struct {
+	ParentAttr string
+	ChildAttr  string
+}
+
+// JoinTree is the rooted form of an acyclic join graph (Section 3.2): the
+// root is the table holding the SIT's attribute and each edge carries the
+// join predicate(s) between a node and its parent. When several predicates
+// connect the same table pair the edge carries them all; the builder treats
+// the extra predicates as independent filters (the paper defers the exact
+// treatment to multidimensional histograms).
+type JoinTree struct {
+	Table    string
+	Children []JoinTreeChild
+}
+
+// JoinTreeChild is one child subtree together with the attribute pairs that
+// join it to its parent.
+type JoinTreeChild struct {
+	Preds []AttrPair
+	Child *JoinTree
+}
+
+// JoinTree roots the expression's join graph at the given table. It fails if
+// the expression is cyclic or the root table is not part of the expression.
+func (e *Expr) JoinTree(root string) (*JoinTree, error) {
+	if !e.HasTable(root) {
+		return nil, fmt.Errorf("query: join-tree root %q not in expression %q", root, e.String())
+	}
+	if !e.IsAcyclic() {
+		return nil, fmt.Errorf("query: expression %q is cyclic; Sweep handles acyclic-join queries only", e.String())
+	}
+	// Group predicates by unordered table pair.
+	type edgeKey [2]string
+	preds := map[edgeKey][]JoinPred{}
+	for _, j := range e.joins {
+		n := j.normalized()
+		k := edgeKey{n.LeftTable, n.RightTable}
+		preds[k] = append(preds[k], n)
+	}
+	adj := e.adjacency()
+	visited := map[string]bool{root: true}
+	var build func(table string) *JoinTree
+	build = func(table string) *JoinTree {
+		node := &JoinTree{Table: table}
+		var neighbors []string
+		for n := range adj[table] {
+			neighbors = append(neighbors, n)
+		}
+		sort.Strings(neighbors)
+		for _, n := range neighbors {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			k := edgeKey{table, n}
+			if table > n {
+				k = edgeKey{n, table}
+			}
+			var pairs []AttrPair
+			for _, p := range preds[k] {
+				if p.LeftTable == table {
+					pairs = append(pairs, AttrPair{ParentAttr: p.LeftAttr, ChildAttr: p.RightAttr})
+				} else {
+					pairs = append(pairs, AttrPair{ParentAttr: p.RightAttr, ChildAttr: p.LeftAttr})
+				}
+			}
+			node.Children = append(node.Children, JoinTreeChild{Preds: pairs, Child: build(n)})
+		}
+		return node
+	}
+	return build(root), nil
+}
+
+// IsLeaf reports whether the node has no children.
+func (jt *JoinTree) IsLeaf() bool { return len(jt.Children) == 0 }
+
+// Height returns the number of edges on the longest root-to-leaf path.
+func (jt *JoinTree) Height() int {
+	h := 0
+	for _, c := range jt.Children {
+		if ch := c.Child.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Size returns the number of nodes in the subtree.
+func (jt *JoinTree) Size() int {
+	n := 1
+	for _, c := range jt.Children {
+		n += c.Child.Size()
+	}
+	return n
+}
+
+// String renders the tree as "root(childA(...), childB)".
+func (jt *JoinTree) String() string {
+	if jt.IsLeaf() {
+		return jt.Table
+	}
+	parts := make([]string, len(jt.Children))
+	for i, c := range jt.Children {
+		parts[i] = c.Child.String()
+	}
+	return jt.Table + "(" + strings.Join(parts, ",") + ")"
+}
+
+// SubtreeExpr reconstructs the generating expression of the subtree rooted at
+// this node: the join of all tables in the subtree on the subtree's
+// predicates. A leaf yields a base-table expression. This is the generating
+// query of the intermediate SIT built when this node's table is scanned
+// (Section 3.2).
+func (jt *JoinTree) SubtreeExpr() (*Expr, error) {
+	var preds []JoinPred
+	var collect func(n *JoinTree)
+	collect = func(n *JoinTree) {
+		for _, e := range n.Children {
+			for _, p := range e.Preds {
+				preds = append(preds, JoinPred{
+					LeftTable: n.Table, LeftAttr: p.ParentAttr,
+					RightTable: e.Child.Table, RightAttr: p.ChildAttr,
+				})
+			}
+			collect(e.Child)
+		}
+	}
+	collect(jt)
+	if len(preds) == 0 {
+		return NewBaseExpr(jt.Table)
+	}
+	return NewExpr(preds...)
+}
+
+// DependencySequences returns one sequence of tables per distinct
+// root-to-leaf path of the join-tree, in *scan order*: the deepest internal
+// node first and the root last, with leaves omitted (leaves only contribute
+// base-table histograms, never a Sweep scan — Section 3.2). These are the
+// input sequences to the multi-SIT scheduling problem of Section 4.3; a table
+// earlier in a sequence must be scanned before every later one, because its
+// scan produces the intermediate SIT the later scan's m-Oracle consumes.
+//
+// Identical sequences arising from sibling leaves are deduplicated: one scan
+// of their shared parent builds the single intermediate SIT both paths need.
+func (jt *JoinTree) DependencySequences() [][]string {
+	var out [][]string
+	seen := map[string]bool{}
+	var walk func(node *JoinTree, pathFromRoot []string)
+	walk = func(node *JoinTree, pathFromRoot []string) {
+		if node.IsLeaf() {
+			// pathFromRoot holds root..parent-of-leaf; scan order reverses it.
+			seq := make([]string, len(pathFromRoot))
+			for i, t := range pathFromRoot {
+				seq[len(pathFromRoot)-1-i] = t
+			}
+			key := strings.Join(seq, "\x00")
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, seq)
+			}
+			return
+		}
+		for _, c := range node.Children {
+			walk(c.Child, append(pathFromRoot, node.Table))
+		}
+	}
+	walk(jt, nil)
+	return out
+}
+
+// DependencySequences derives the scheduling sequences for a SIT spec by
+// rooting the join-tree at the SIT attribute's table. Base-table specs
+// involve no Sweep scans and return nil.
+func (s SITSpec) DependencySequences() ([][]string, error) {
+	if s.IsBase() {
+		return nil, nil
+	}
+	jt, err := s.Expr.JoinTree(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	return jt.DependencySequences(), nil
+}

@@ -1,0 +1,193 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figure6b builds the acyclic query of the paper's Figure 6(b):
+// R joins S (S joins T), and R joins U (U joins V).
+func figure6b(t *testing.T) *Expr {
+	t.Helper()
+	e, err := NewExpr(
+		pred("R", "r1", "S", "s1"),
+		pred("S", "s2", "T", "t1"),
+		pred("R", "r2", "U", "u1"),
+		pred("U", "u2", "V", "v1"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestJoinTreeSingleJoin(t *testing.T) {
+	e := MustNewExpr(pred("R", "x", "S", "y"))
+	jt, err := e.JoinTree("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Table != "S" || len(jt.Children) != 1 {
+		t.Fatalf("tree = %s", jt.String())
+	}
+	c := jt.Children[0]
+	if c.Child.Table != "R" || !c.Child.IsLeaf() {
+		t.Errorf("child = %s", c.Child.String())
+	}
+	if len(c.Preds) != 1 || c.Preds[0] != (AttrPair{ParentAttr: "y", ChildAttr: "x"}) {
+		t.Errorf("edge preds = %v", c.Preds)
+	}
+	if jt.Height() != 1 || jt.Size() != 2 {
+		t.Errorf("height=%d size=%d", jt.Height(), jt.Size())
+	}
+}
+
+func TestJoinTreeErrors(t *testing.T) {
+	e := MustNewExpr(pred("R", "x", "S", "y"))
+	if _, err := e.JoinTree("T"); err == nil {
+		t.Error("root not in expr: want error")
+	}
+	cyc := MustNewExpr(
+		pred("R", "x", "S", "y"),
+		pred("S", "z", "T", "w"),
+		pred("T", "v", "R", "u"),
+	)
+	if _, err := cyc.JoinTree("R"); err == nil {
+		t.Error("cyclic expr: want error")
+	}
+}
+
+func TestJoinTreeFigure6b(t *testing.T) {
+	jt, err := figure6b(t).JoinTree("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Table != "R" || len(jt.Children) != 2 {
+		t.Fatalf("tree = %s", jt.String())
+	}
+	if got := jt.String(); got != "R(S(T),U(V))" {
+		t.Errorf("tree = %q, want R(S(T),U(V))", got)
+	}
+	if jt.Height() != 2 || jt.Size() != 5 {
+		t.Errorf("height=%d size=%d", jt.Height(), jt.Size())
+	}
+}
+
+func TestDependencySequencesChain(t *testing.T) {
+	// SIT(U.a | R ⋈ S ⋈ T ⋈ U), Example 2: scans S, then T, then U.
+	e, err := Chain(
+		[]string{"R", "S", "T", "U"},
+		[]string{"r1", "s2", "t2"},
+		[]string{"s1", "t1", "u1"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewSITSpec("U", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := spec.DependencySequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"S", "T", "U"}}
+	if !reflect.DeepEqual(seqs, want) {
+		t.Errorf("sequences = %v, want %v", seqs, want)
+	}
+	// The same chain with the SIT attribute on R scans T, S, R (Example 6,
+	// Figure 6(a) analogue).
+	specR, err := NewSITSpec("R", "b", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqsR, err := specR.DependencySequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := [][]string{{"T", "S", "R"}}
+	if !reflect.DeepEqual(seqsR, wantR) {
+		t.Errorf("sequences = %v, want %v", seqsR, wantR)
+	}
+}
+
+func TestDependencySequencesFigure6b(t *testing.T) {
+	// Figure 6(b): SIT(R.a | ...): paths R-S-T and R-U-V give scan orders
+	// (S,R) and (U,R).
+	spec, err := NewSITSpec("R", "a", figure6b(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := spec.DependencySequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"S", "R"}, {"U", "R"}}
+	if !reflect.DeepEqual(seqs, want) {
+		t.Errorf("sequences = %v, want %v", seqs, want)
+	}
+}
+
+func TestDependencySequencesSingleJoinAndBase(t *testing.T) {
+	e := MustNewExpr(pred("R", "x", "S", "y"))
+	spec, err := NewSITSpec("S", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := spec.DependencySequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, [][]string{{"S"}}) {
+		t.Errorf("sequences = %v, want [[S]]", seqs)
+	}
+	base, _ := NewBaseExpr("R")
+	bspec, _ := NewSITSpec("R", "a", base)
+	bseqs, err := bspec.DependencySequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bseqs != nil {
+		t.Errorf("base sequences = %v, want nil", bseqs)
+	}
+}
+
+func TestDependencySequencesDedup(t *testing.T) {
+	// Root R with child S that has two leaf children T and U: both paths
+	// yield scan order (S,R); only one sequence should remain.
+	e, err := NewExpr(
+		pred("R", "r1", "S", "s1"),
+		pred("S", "s2", "T", "t1"),
+		pred("S", "s3", "U", "u1"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewSITSpec("R", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := spec.DependencySequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, [][]string{{"S", "R"}}) {
+		t.Errorf("sequences = %v, want [[S R]]", seqs)
+	}
+}
+
+func TestMultiPredicateEdgeCarriesAllPairs(t *testing.T) {
+	e := MustNewExpr(pred("R", "w", "S", "x"), pred("R", "y", "S", "z"))
+	jt, err := e.JoinTree("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jt.Children) != 1 || len(jt.Children[0].Preds) != 2 {
+		t.Fatalf("tree = %s preds = %v", jt.String(), jt.Children[0].Preds)
+	}
+	for _, p := range jt.Children[0].Preds {
+		if p.ParentAttr != "x" && p.ParentAttr != "z" {
+			t.Errorf("parent attr %q should belong to S", p.ParentAttr)
+		}
+	}
+}

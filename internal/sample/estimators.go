@@ -1,0 +1,157 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file collects additional sampling machinery around the core
+// reservoirs: a Bernoulli row sampler (the other standard way systems draw
+// statistics samples) and the classic distinct-value estimators that the
+// "sampling assumption" of Section 2.1 is about — estimating the number of
+// distinct values from a sample is provably hard [3], and different
+// estimators fail differently, so the library ships several.
+
+// Bernoulli samples each offered element independently with probability p.
+// Unlike a reservoir its sample size is binomial rather than fixed, but it
+// needs no per-element random index and supports merging across partitions.
+type Bernoulli struct {
+	p     float64
+	rng   *rand.Rand
+	seen  int64
+	items []int64
+}
+
+// NewBernoulli creates a sampler with inclusion probability p in (0, 1].
+func NewBernoulli(p float64, seed int64) (*Bernoulli, error) {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("sample: Bernoulli probability %v out of (0,1]", p)
+	}
+	return &Bernoulli{p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Add offers one element.
+func (b *Bernoulli) Add(v int64) {
+	b.seen++
+	if b.rng.Float64() < b.p {
+		b.items = append(b.items, v)
+	}
+}
+
+// Sample returns the retained elements.
+func (b *Bernoulli) Sample() []int64 { return b.items }
+
+// Seen returns the number of offered elements.
+func (b *Bernoulli) Seen() int64 { return b.seen }
+
+// ScaleFactor returns 1/p, the factor converting sample counts to population
+// estimates.
+func (b *Bernoulli) ScaleFactor() float64 { return 1 / b.p }
+
+// frequencyOfFrequencies computes f[j] = number of sample values occurring
+// exactly j times, plus the number of distinct sample values.
+func frequencyOfFrequencies(sampleVals []int64) (map[int]int, int) {
+	counts := make(map[int64]int, len(sampleVals))
+	for _, v := range sampleVals {
+		counts[v]++
+	}
+	f := map[int]int{}
+	for _, c := range counts {
+		f[c]++
+	}
+	return f, len(counts)
+}
+
+// clampDistinct bounds an estimate to [observed distinct, population size].
+func clampDistinct(est float64, observed int, total int64) float64 {
+	if est > float64(total) {
+		est = float64(total)
+	}
+	if est < float64(observed) {
+		est = float64(observed)
+	}
+	return est
+}
+
+// EstimateDistinctChao is Chao's lower-bound estimator:
+// d + f1^2 / (2 f2), with f1 singletons and f2 doubletons. It needs no
+// knowledge of the population size; when f2 = 0 it degrades to
+// d + f1*(f1-1)/2.
+func EstimateDistinctChao(sampleVals []int64, total int64) float64 {
+	if len(sampleVals) == 0 {
+		return 0
+	}
+	f, d := frequencyOfFrequencies(sampleVals)
+	f1, f2 := float64(f[1]), float64(f[2])
+	var est float64
+	if f2 > 0 {
+		est = float64(d) + f1*f1/(2*f2)
+	} else {
+		est = float64(d) + f1*(f1-1)/2
+	}
+	return clampDistinct(est, d, total)
+}
+
+// EstimateDistinctJackknife is the first-order jackknife for a uniform sample
+// of n of total rows: d / (1 - (1 - q) * f1 / n) with q = n/total; it scales
+// the observed distinct count up by the fraction of classes estimated to have
+// escaped the sample entirely.
+func EstimateDistinctJackknife(sampleVals []int64, total int64) float64 {
+	n := int64(len(sampleVals))
+	if n == 0 {
+		return 0
+	}
+	if total < n {
+		total = n
+	}
+	f, d := frequencyOfFrequencies(sampleVals)
+	q := float64(n) / float64(total)
+	denom := 1 - (1-q)*float64(f[1])/float64(n)
+	if denom <= 0 {
+		return float64(total)
+	}
+	return clampDistinct(float64(d)/denom, d, total)
+}
+
+// DistinctEstimator names one of the shipped estimators.
+type DistinctEstimator int
+
+// The distinct-value estimators.
+const (
+	// GEE is the Guaranteed-Error Estimator (the default; see
+	// EstimateDistinct).
+	GEE DistinctEstimator = iota
+	// Chao is Chao's f1^2/(2 f2) lower bound.
+	Chao
+	// Jackknife is the first-order jackknife.
+	Jackknife
+)
+
+// String returns the estimator name.
+func (e DistinctEstimator) String() string {
+	switch e {
+	case GEE:
+		return "GEE"
+	case Chao:
+		return "Chao"
+	case Jackknife:
+		return "Jackknife"
+	default:
+		return fmt.Sprintf("DistinctEstimator(%d)", int(e))
+	}
+}
+
+// EstimateDistinctWith dispatches to the named estimator.
+func EstimateDistinctWith(e DistinctEstimator, sampleVals []int64, total int64) (float64, error) {
+	switch e {
+	case GEE:
+		return EstimateDistinct(sampleVals, total), nil
+	case Chao:
+		return EstimateDistinctChao(sampleVals, total), nil
+	case Jackknife:
+		return EstimateDistinctJackknife(sampleVals, total), nil
+	default:
+		return 0, fmt.Errorf("sample: unknown distinct estimator %v", e)
+	}
+}

@@ -1,0 +1,136 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBernoulli(t *testing.T) {
+	if _, err := NewBernoulli(0, 1); err == nil {
+		t.Error("p=0: want error")
+	}
+	if _, err := NewBernoulli(1.5, 1); err == nil {
+		t.Error("p>1: want error")
+	}
+	if _, err := NewBernoulli(math.NaN(), 1); err == nil {
+		t.Error("NaN: want error")
+	}
+	b, err := NewBernoulli(0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	for i := int64(0); i < n; i++ {
+		b.Add(i)
+	}
+	if b.Seen() != n {
+		t.Errorf("Seen = %d", b.Seen())
+	}
+	got := float64(len(b.Sample()))
+	want := 0.2 * n
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("sample size = %v, want ~%v", got, want)
+	}
+	if b.ScaleFactor() != 5 {
+		t.Errorf("ScaleFactor = %v", b.ScaleFactor())
+	}
+}
+
+// population builds total values with the given number of distinct values,
+// each appearing total/distinct times, shuffled.
+func population(rng *rand.Rand, total, distinct int) []int64 {
+	out := make([]int64, total)
+	for i := range out {
+		out[i] = int64(i % distinct)
+	}
+	rng.Shuffle(total, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestDistinctEstimatorsOnUniformClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pop := population(rng, 50000, 2000)
+	smp := pop[:5000] // 10% sample
+	for _, e := range []DistinctEstimator{GEE, Chao, Jackknife} {
+		got, err := EstimateDistinctWith(e, smp, int64(len(pop)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 1000 || got > 4000 {
+			t.Errorf("%v estimate = %v, want within factor 2 of 2000", e, got)
+		}
+	}
+}
+
+func TestDistinctEstimatorsEdgeCases(t *testing.T) {
+	for _, e := range []DistinctEstimator{GEE, Chao, Jackknife} {
+		got, err := EstimateDistinctWith(e, nil, 100)
+		if err != nil || got != 0 {
+			t.Errorf("%v on empty sample = %v, %v", e, got, err)
+		}
+		// Full sample: estimate within [observed, total] and near observed.
+		full := []int64{1, 1, 2, 2, 3, 3}
+		got, err = EstimateDistinctWith(e, full, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 3 || got > 6 {
+			t.Errorf("%v full-sample estimate = %v, want within [3,6]", e, got)
+		}
+	}
+	if _, err := EstimateDistinctWith(DistinctEstimator(99), []int64{1}, 1); err == nil {
+		t.Error("unknown estimator: want error")
+	}
+	if got := DistinctEstimator(99).String(); got != "DistinctEstimator(99)" {
+		t.Errorf("String = %q", got)
+	}
+	if GEE.String() != "GEE" || Chao.String() != "Chao" || Jackknife.String() != "Jackknife" {
+		t.Error("estimator names wrong")
+	}
+}
+
+func TestChaoNoDoubletons(t *testing.T) {
+	// All singletons: f2 = 0 branch.
+	smp := []int64{1, 2, 3, 4}
+	got := EstimateDistinctChao(smp, 1000)
+	if got < 4 {
+		t.Errorf("Chao with singletons = %v, want >= 4", got)
+	}
+	if got > 1000 {
+		t.Errorf("Chao exceeded population: %v", got)
+	}
+}
+
+// Property: every estimator stays within [observed distinct, population].
+func TestDistinctBoundsQuick(t *testing.T) {
+	f := func(raw []uint8, extra uint16) bool {
+		smp := make([]int64, len(raw))
+		seen := map[int64]bool{}
+		for i, v := range raw {
+			smp[i] = int64(v % 32)
+			seen[smp[i]] = true
+		}
+		total := int64(len(raw)) + int64(extra)
+		for _, e := range []DistinctEstimator{GEE, Chao, Jackknife} {
+			got, err := EstimateDistinctWith(e, smp, total)
+			if err != nil {
+				return false
+			}
+			if len(smp) == 0 {
+				if got != 0 {
+					return false
+				}
+				continue
+			}
+			if got < float64(len(seen))-1e-9 || got > float64(total)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package sample implements the sampling substrate of Section 3.1 step 4:
+// one-pass reservoir sampling over the streamed (value, multiplicity) pairs
+// Sweep produces, in two flavors — Vitter's classic Algorithm R over
+// replicated values (the paper's formulation, "we append n copies of a_i"),
+// and an Efraimidis–Spirakis weighted reservoir that consumes the fractional
+// multiplicities directly (an extension that removes rounding noise).
+//
+// It also provides the GEE distinct-value estimator used when deriving
+// distinct counts from samples (the "sampling assumption" of Section 2.1).
+package sample
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Reservoir is a uniform fixed-size sample over a stream of int64 values,
+// maintained with Vitter's Algorithm R.
+type Reservoir struct {
+	k     int
+	seen  int64
+	items []int64
+	rng   *rand.Rand
+}
+
+// NewReservoir creates a reservoir holding at most k items, driven by the
+// given seed.
+func NewReservoir(k int, seed int64) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sample: reservoir size %d must be positive", k)
+	}
+	return &Reservoir{k: k, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Add offers one stream element to the reservoir.
+func (r *Reservoir) Add(v int64) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.k) {
+		r.items[j] = v
+	}
+}
+
+// AddN offers count identical stream elements. It is equivalent to calling
+// Add(v) count times and is how Sweep streams the "n copies of a_i" of
+// Section 3.1 step 3 without materializing them.
+func (r *Reservoir) AddN(v int64, count int64) {
+	for ; count > 0 && len(r.items) < r.k; count-- {
+		r.seen++
+		r.items = append(r.items, v)
+	}
+	if count <= 0 {
+		return
+	}
+	// Reservoir is full. Out of the next count arrivals, arrival i (1-based
+	// after seen) replaces a random slot with probability k/(seen+i). Draw
+	// the number of replacements and apply them to uniform random slots; the
+	// replaced values are all v, so only the count of replacements matters.
+	replacements := 0
+	for i := int64(1); i <= count; i++ {
+		if r.rng.Int63n(r.seen+i) < int64(r.k) {
+			replacements++
+		}
+	}
+	r.seen += count
+	for ; replacements > 0; replacements-- {
+		r.items[r.rng.Intn(r.k)] = v
+	}
+}
+
+// AddWeighted offers a fractional multiplicity using stochastic rounding:
+// floor(w) copies plus one more with probability frac(w). This is the default
+// way Sweep feeds its estimated multiplicities into the reservoir.
+func (r *Reservoir) AddWeighted(v int64, w float64) {
+	if w <= 0 || math.IsNaN(w) {
+		return
+	}
+	n := int64(w)
+	if r.rng.Float64() < w-float64(n) {
+		n++
+	}
+	r.AddN(v, n)
+}
+
+// Sample returns the current sample. The returned slice is the reservoir's
+// backing storage and must not be modified.
+func (r *Reservoir) Sample() []int64 { return r.items }
+
+// Seen returns the number of stream elements offered so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Cap returns the reservoir capacity k.
+func (r *Reservoir) Cap() int { return r.k }
+
+// weightedItem is one candidate in the A-Res weighted reservoir with its key
+// u^(1/w); the k items with the largest keys form the sample.
+type weightedItem struct {
+	value int64
+	key   float64
+}
+
+type weightedHeap []weightedItem
+
+func (h weightedHeap) Len() int            { return len(h) }
+func (h weightedHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h weightedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *weightedHeap) Push(x interface{}) { *h = append(*h, x.(weightedItem)) }
+func (h *weightedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WeightedReservoir is a weighted sample without replacement (Efraimidis and
+// Spirakis A-Res): each offered item gets key u^(1/w) and the k largest keys
+// survive. For Sweep it consumes the fractional multiplicity directly, so no
+// rounding noise enters the sample.
+type WeightedReservoir struct {
+	k    int
+	h    weightedHeap
+	rng  *rand.Rand
+	seen int64
+	mass float64
+}
+
+// NewWeightedReservoir creates a weighted reservoir holding at most k items.
+func NewWeightedReservoir(k int, seed int64) (*WeightedReservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sample: weighted reservoir size %d must be positive", k)
+	}
+	return &WeightedReservoir{k: k, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Add offers a value with the given weight; non-positive weights are ignored.
+func (w *WeightedReservoir) Add(v int64, weight float64) {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return
+	}
+	w.seen++
+	w.mass += weight
+	key := math.Pow(w.rng.Float64(), 1/weight)
+	if len(w.h) < w.k {
+		heap.Push(&w.h, weightedItem{value: v, key: key})
+		return
+	}
+	if key > w.h[0].key {
+		w.h[0] = weightedItem{value: v, key: key}
+		heap.Fix(&w.h, 0)
+	}
+}
+
+// Sample returns the sampled values in unspecified order.
+func (w *WeightedReservoir) Sample() []int64 {
+	out := make([]int64, len(w.h))
+	for i, it := range w.h {
+		out[i] = it.value
+	}
+	return out
+}
+
+// Seen returns the number of items offered with positive weight.
+func (w *WeightedReservoir) Seen() int64 { return w.seen }
+
+// Mass returns the total weight offered, i.e. the estimated stream length.
+func (w *WeightedReservoir) Mass() float64 { return w.mass }
+
+// Cap returns the reservoir capacity k.
+func (w *WeightedReservoir) Cap() int { return w.k }
+
+// EstimateDistinct applies the GEE (Guaranteed-Error Estimator) of Charikar
+// et al. to estimate the number of distinct values in a population of size
+// total from a uniform sample: sqrt(total/|sample|)·f1 + sum_{j>=2} fj, where
+// fj counts sample values occurring exactly j times. This is the standard
+// answer to the sampling assumption's weak spot — distinct counts are hard to
+// sample (Section 2.1, [3]).
+func EstimateDistinct(sampleVals []int64, total int64) float64 {
+	n := int64(len(sampleVals))
+	if n == 0 {
+		return 0
+	}
+	if total < n {
+		total = n
+	}
+	counts := make(map[int64]int, len(sampleVals))
+	for _, v := range sampleVals {
+		counts[v]++
+	}
+	singletons := 0
+	higher := 0
+	for _, c := range counts {
+		if c == 1 {
+			singletons++
+		} else {
+			higher++
+		}
+	}
+	est := math.Sqrt(float64(total)/float64(n))*float64(singletons) + float64(higher)
+	if est > float64(total) {
+		est = float64(total)
+	}
+	if est < float64(len(counts)) {
+		est = float64(len(counts))
+	}
+	return est
+}

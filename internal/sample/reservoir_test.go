@@ -1,0 +1,295 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReservoirErrors(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := NewWeightedReservoir(-1, 1); err == nil {
+		t.Error("k<0: want error")
+	}
+}
+
+func TestReservoirFillsThenStaysFixed(t *testing.T) {
+	r, err := NewReservoir(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		r.Add(i)
+	}
+	if len(r.Sample()) != 5 || r.Seen() != 5 {
+		t.Fatalf("partial fill: len=%d seen=%d", len(r.Sample()), r.Seen())
+	}
+	for i := int64(5); i < 1000; i++ {
+		r.Add(i)
+	}
+	if len(r.Sample()) != 10 {
+		t.Errorf("len = %d, want 10", len(r.Sample()))
+	}
+	if r.Seen() != 1000 {
+		t.Errorf("seen = %d, want 1000", r.Seen())
+	}
+	if r.Cap() != 10 {
+		t.Errorf("cap = %d", r.Cap())
+	}
+}
+
+// TestReservoirUniform: every stream position should appear in the sample
+// with probability k/n. Run many trials and check per-element inclusion
+// frequencies are within a loose band.
+func TestReservoirUniform(t *testing.T) {
+	const (
+		k      = 5
+		n      = 50
+		trials = 20000
+	)
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		r, err := NewReservoir(k, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < n; i++ {
+			r.Add(i)
+		}
+		for _, v := range r.Sample() {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Errorf("position %d sampled %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+// TestAddNMatchesRepeatedAdd: AddN must preserve the inclusion probability of
+// earlier elements: after k distinct fills and a huge batch of v, the
+// fraction of slots still holding early values should be ~k/(k+batch).
+func TestAddNInclusionProbability(t *testing.T) {
+	const (
+		k     = 100
+		batch = 900
+	)
+	early := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		r, err := NewReservoir(k, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < k; i++ {
+			r.Add(-1) // early marker
+		}
+		r.AddN(7, batch)
+		for _, v := range r.Sample() {
+			if v == -1 {
+				early++
+			}
+		}
+	}
+	got := float64(early) / float64(trials*k)
+	want := float64(k) / float64(k+batch) // 0.1
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("early survival = %.4f, want ~%.4f", got, want)
+	}
+}
+
+func TestAddNPartialFill(t *testing.T) {
+	r, err := NewReservoir(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddN(5, 4)
+	if len(r.Sample()) != 4 || r.Seen() != 4 {
+		t.Fatalf("after AddN(5,4): len=%d seen=%d", len(r.Sample()), r.Seen())
+	}
+	r.AddN(6, 20)
+	if len(r.Sample()) != 10 || r.Seen() != 24 {
+		t.Fatalf("after AddN(6,20): len=%d seen=%d", len(r.Sample()), r.Seen())
+	}
+	r.AddN(7, 0)
+	if r.Seen() != 24 {
+		t.Errorf("AddN with count=0 changed seen to %d", r.Seen())
+	}
+}
+
+func TestAddWeighted(t *testing.T) {
+	r, err := NewReservoir(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight 2.5 should add on average 2.5 copies.
+	for i := 0; i < 10000; i++ {
+		r.AddWeighted(1, 2.5)
+	}
+	got := float64(r.Seen()) / 10000
+	if math.Abs(got-2.5) > 0.1 {
+		t.Errorf("mean copies = %.3f, want ~2.5", got)
+	}
+	seen := r.Seen()
+	r.AddWeighted(1, 0)
+	r.AddWeighted(1, -3)
+	r.AddWeighted(1, math.NaN())
+	if r.Seen() != seen {
+		t.Error("non-positive/NaN weights must be ignored")
+	}
+}
+
+func TestWeightedReservoirBias(t *testing.T) {
+	// Two values, weight 9:1. Sample of 1 should pick the heavy value ~90%.
+	heavy := 0
+	const trials = 5000
+	for trial := 0; trial < trials; trial++ {
+		w, err := NewWeightedReservoir(1, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(1, 9)
+		w.Add(2, 1)
+		if w.Sample()[0] == 1 {
+			heavy++
+		}
+	}
+	got := float64(heavy) / trials
+	if got < 0.85 || got > 0.95 {
+		t.Errorf("heavy value sampled %.3f, want ~0.9", got)
+	}
+}
+
+func TestWeightedReservoirBookkeeping(t *testing.T) {
+	w, err := NewWeightedReservoir(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(1, 2)
+	w.Add(2, 3.5)
+	w.Add(3, 0)           // ignored
+	w.Add(4, math.Inf(1)) // ignored
+	if w.Seen() != 2 {
+		t.Errorf("seen = %d, want 2", w.Seen())
+	}
+	if math.Abs(w.Mass()-5.5) > 1e-9 {
+		t.Errorf("mass = %v, want 5.5", w.Mass())
+	}
+	if w.Cap() != 3 {
+		t.Errorf("cap = %d", w.Cap())
+	}
+	w.Add(5, 1)
+	w.Add(6, 1)
+	if len(w.Sample()) != 3 {
+		t.Errorf("sample len = %d, want 3", len(w.Sample()))
+	}
+}
+
+func TestEstimateDistinct(t *testing.T) {
+	if got := EstimateDistinct(nil, 100); got != 0 {
+		t.Errorf("empty sample = %v", got)
+	}
+	// Full "sample" of the population: estimate must equal true distinct.
+	full := []int64{1, 1, 2, 3, 3, 3, 4}
+	got := EstimateDistinct(full, int64(len(full)))
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("full sample estimate = %v, want 4", got)
+	}
+	// Never exceeds population size and never drops below observed distinct.
+	got = EstimateDistinct([]int64{1, 2, 3}, 4)
+	if got > 4 || got < 3 {
+		t.Errorf("estimate = %v, want within [3,4]", got)
+	}
+}
+
+func TestEstimateDistinctStatistical(t *testing.T) {
+	// Population: 1000 distinct values each appearing 10 times. A 10% sample
+	// should estimate distinct within a factor ~2 of 1000.
+	rng := rand.New(rand.NewSource(8))
+	var population []int64
+	for v := int64(0); v < 1000; v++ {
+		for c := 0; c < 10; c++ {
+			population = append(population, v)
+		}
+	}
+	rng.Shuffle(len(population), func(i, j int) { population[i], population[j] = population[j], population[i] })
+	sampleVals := population[:1000]
+	got := EstimateDistinct(sampleVals, int64(len(population)))
+	if got < 500 || got > 2000 {
+		t.Errorf("distinct estimate = %v, want within [500,2000] of 1000", got)
+	}
+}
+
+// Property: the reservoir never exceeds its capacity, Seen counts correctly,
+// and with fewer offers than capacity the sample is exactly the stream.
+func TestReservoirQuick(t *testing.T) {
+	f := func(vals []int64, kSeed uint8) bool {
+		k := int(kSeed%50) + 1
+		r, err := NewReservoir(k, 99)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			r.Add(v)
+		}
+		if r.Seen() != int64(len(vals)) {
+			return false
+		}
+		if len(vals) <= k {
+			s := r.Sample()
+			if len(s) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if s[i] != vals[i] {
+					return false
+				}
+			}
+			return true
+		}
+		return len(r.Sample()) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddN(v, c) leaves the same Seen as c individual Adds and keeps
+// every sampled element a member of the offered multiset.
+func TestAddNQuick(t *testing.T) {
+	f := func(counts []uint8, kSeed uint8) bool {
+		k := int(kSeed%20) + 1
+		r, err := NewReservoir(k, 7)
+		if err != nil {
+			return false
+		}
+		offered := map[int64]bool{}
+		var total int64
+		for i, c := range counts {
+			v := int64(i)
+			n := int64(c % 50)
+			r.AddN(v, n)
+			if n > 0 {
+				offered[v] = true
+			}
+			total += n
+		}
+		if r.Seen() != total {
+			return false
+		}
+		for _, v := range r.Sample() {
+			if !offered[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

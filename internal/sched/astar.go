@@ -1,0 +1,391 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Options tunes the A*-based solvers.
+type Options struct {
+	// AllSubsets reproduces the paper's generateSuccessors literally: every
+	// non-empty memory-feasible subset of the candidate tasks becomes a
+	// successor. The default (false) generates only maximal feasible advance
+	// sets, which provably preserves optimality and expands far fewer nodes.
+	AllSubsets bool
+	// DisableHeuristic turns A* into Dijkstra (for admissibility tests).
+	DisableHeuristic bool
+	// MaxExpansions aborts the search after expanding this many states
+	// (0 = unlimited).
+	MaxExpansions int
+}
+
+// Opt finds the optimal schedule with the memory-constrained weighted-SCS A*
+// of Section 4.3.1.
+func Opt(tasks []Task, env Env) (Schedule, Stats, error) {
+	return OptWith(tasks, env, Options{})
+}
+
+// OptWith is Opt with explicit solver options.
+func OptWith(tasks []Task, env Env, opts Options) (Schedule, Stats, error) {
+	return solve(tasks, env, opts, searchAStar, 0)
+}
+
+// Greedy is the aggressive variant of Section 4.3.2: at each iteration only
+// the successors of the best node survive, so the search commits to the
+// locally best scan. It finishes in at most sum(|Seq_i|) steps but may return
+// suboptimal schedules.
+func Greedy(tasks []Task, env Env) (Schedule, Stats, error) {
+	return solve(tasks, env, Options{}, searchGreedy, 0)
+}
+
+// Hybrid starts as A* and, once the time budget elapses without the optimum
+// being found, continues greedily from the most promising node found so far
+// (Section 4.3.2; the paper switches after one second).
+func Hybrid(tasks []Task, env Env, budget time.Duration) (Schedule, Stats, error) {
+	if budget <= 0 {
+		return Schedule{}, Stats{}, fmt.Errorf("sched: hybrid needs a positive time budget")
+	}
+	return solve(tasks, env, Options{}, searchHybrid, budget)
+}
+
+// BruteForce solves the instance exactly with exhaustive subset successors
+// and no heuristic; it is the reference implementation used in tests and is
+// only practical on tiny instances.
+func BruteForce(tasks []Task, env Env) (Schedule, error) {
+	s, _, err := solve(tasks, env, Options{AllSubsets: true, DisableHeuristic: true}, searchAStar, 0)
+	return s, err
+}
+
+type searchMode int
+
+const (
+	searchAStar searchMode = iota
+	searchGreedy
+	searchHybrid
+)
+
+// nodeInfo is per-state bookkeeping. The schedule is reconstructed from the
+// parent chain alone: the advanced tasks are the positions that differ
+// between a node and its parent, so no per-node Step is stored — with tens of
+// millions of generated states this matters.
+type nodeInfo struct {
+	g      float64
+	parent string
+	closed bool
+}
+
+func solve(tasks []Task, env Env, opts Options, mode searchMode, budget time.Duration) (Schedule, Stats, error) {
+	start := time.Now()
+	if err := env.validate(tasks); err != nil {
+		return Schedule{}, Stats{}, err
+	}
+	var stats Stats
+	if len(tasks) == 0 {
+		return Schedule{}, stats, nil
+	}
+
+	h := makeHeuristic(tasks, env)
+	if opts.DisableHeuristic {
+		h = func([]int) float64 { return 0 }
+	}
+
+	pos0 := make([]int, len(tasks))
+	key0 := stateKey(pos0)
+	info := map[string]*nodeInfo{key0: {}}
+	open := &openHeap{}
+	heap.Push(open, openItem{key: key0, f: h(pos0)})
+	stats.Generated = 1
+
+	greedyNow := mode == searchGreedy
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(openItem)
+		ci := info[cur.key]
+		if ci.closed {
+			continue
+		}
+		ci.closed = true
+		stats.Expanded++
+		if opts.MaxExpansions > 0 && stats.Expanded > opts.MaxExpansions {
+			return Schedule{}, stats, fmt.Errorf("sched: expansion budget %d exhausted", opts.MaxExpansions)
+		}
+		curPos := posFromKey(cur.key, len(tasks))
+		if isGoal(curPos, tasks) {
+			stats.Elapsed = time.Since(start)
+			return reconstruct(info, cur.key, ci.g, tasks), stats, nil
+		}
+		if mode == searchHybrid && !greedyNow && time.Since(start) > budget {
+			greedyNow = true
+			stats.SwitchedToGreedy = true
+		}
+		if greedyNow {
+			// Keep only this node's successors: empty OPEN before expansion.
+			*open = (*open)[:0]
+		}
+		expand(cur.key, curPos, ci, tasks, env, opts, h, info, open, &stats)
+	}
+	return Schedule{}, stats, fmt.Errorf("sched: no feasible schedule found")
+}
+
+// expand pushes the successors of the current state: for every table T that
+// is some task's next scan, and every chosen advance set of the candidate
+// tasks, a new state with cost g + Cost(T).
+func expand(curKey string, curPos []int, ci *nodeInfo, tasks []Task, env Env, opts Options,
+	h func([]int) float64, info map[string]*nodeInfo, open *openHeap, stats *Stats) {
+
+	byTable := map[string][]int{}
+	for ti, t := range tasks {
+		if p := curPos[ti]; p < len(t.Seq) {
+			byTable[t.Seq[p]] = append(byTable[t.Seq[p]], ti)
+		}
+	}
+	npos := make([]int, len(curPos))
+	for table, candidates := range byTable {
+		maxK := len(candidates)
+		if env.Memory > 0 {
+			if fit := int(env.Memory / env.SampleSize[table]); fit < maxK {
+				maxK = fit
+			}
+		}
+		if maxK == 0 {
+			continue // table's single sample would already exceed M; caught by env.validate
+		}
+		push := func(set []int) {
+			copy(npos, curPos)
+			for _, ti := range set {
+				npos[ti]++
+			}
+			nk := stateKey(npos)
+			ng := ci.g + env.Cost[table]
+			ni, seen := info[nk]
+			if seen && (ni.closed || ni.g <= ng) {
+				return
+			}
+			if !seen {
+				ni = &nodeInfo{}
+				info[nk] = ni
+			}
+			ni.g = ng
+			ni.parent = curKey
+			heap.Push(open, openItem{key: nk, f: ng + h(npos)})
+			stats.Generated++
+		}
+		if opts.AllSubsets {
+			forEachSubset(candidates, maxK, push)
+		} else {
+			// Dominance pruning: only maximal feasible advance sets. All
+			// candidates share SampleSize(table), so maximal means size
+			// exactly min(len(candidates), maxK).
+			forEachCombination(candidates, maxK, push)
+		}
+	}
+}
+
+// forEachSubset invokes fn on every non-empty subset of items with size <= k
+// (the paper's literal generateSuccessors).
+func forEachSubset(items []int, k int, fn func([]int)) {
+	n := len(items)
+	var rec func(i int, cur []int)
+	rec = func(i int, cur []int) {
+		if i == n {
+			if len(cur) > 0 {
+				fn(append([]int(nil), cur...))
+			}
+			return
+		}
+		if len(cur) < k {
+			rec(i+1, append(cur, items[i]))
+		}
+		rec(i+1, cur)
+	}
+	rec(0, nil)
+}
+
+// forEachCombination invokes fn on every subset of items of size exactly
+// min(len(items), k).
+func forEachCombination(items []int, k int, fn func([]int)) {
+	if k >= len(items) {
+		fn(items)
+		return
+	}
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			fn(append([]int(nil), cur...))
+			return
+		}
+		// Prune: not enough items left to reach size k.
+		for i := start; i <= len(items)-(k-len(cur)); i++ {
+			rec(i+1, append(cur, items[i]))
+		}
+	}
+	rec(0, nil)
+}
+
+// makeHeuristic precomputes suffix occurrence counts and returns the
+// admissible heuristic
+//
+//	h(u) = sum_c Cost(c) * max( o(u,c), ceil(R_c(u) / k_c) )
+//
+// where o(u,c) is the Section 4.3 bound (the maximum remaining occurrences of
+// c in any one sequence — every supersequence must scan c that often), R_c(u)
+// is the total remaining occurrences of c across all sequences, and k_c =
+// floor(M / SampleSize(c)) is the most sequence-positions one scan of c can
+// advance under the memory budget — so at least ceil(R_c/k_c) scans of c are
+// unavoidable. Both terms are lower bounds and each drops by at most one per
+// scan of c, so the heuristic stays consistent; the memory term prunes
+// dramatically when M binds.
+func makeHeuristic(tasks []Task, env Env) func([]int) float64 {
+	tables := sortedTables(tasks)
+	// cnt[ti][c][p] = occurrences of table c in tasks[ti].Seq[p:].
+	cnt := make([]map[string][]int, len(tasks))
+	for ti, t := range tasks {
+		cnt[ti] = map[string][]int{}
+		for _, c := range tables {
+			counts := make([]int, len(t.Seq)+1)
+			for p := len(t.Seq) - 1; p >= 0; p-- {
+				counts[p] = counts[p+1]
+				if t.Seq[p] == c {
+					counts[p]++
+				}
+			}
+			cnt[ti][c] = counts
+		}
+	}
+	share := map[string]int{}
+	for _, c := range tables {
+		k := len(tasks)
+		if env.Memory > 0 {
+			if fit := int(env.Memory / env.SampleSize[c]); fit < k {
+				k = fit
+			}
+		}
+		if k < 1 {
+			k = 1 // env.validate rejects truly infeasible instances
+		}
+		share[c] = k
+	}
+	return func(pos []int) float64 {
+		total := 0.0
+		for _, c := range tables {
+			o, r := 0, 0
+			for ti := range tasks {
+				n := cnt[ti][c][pos[ti]]
+				r += n
+				if n > o {
+					o = n
+				}
+			}
+			k := share[c]
+			if byMem := (r + k - 1) / k; byMem > o {
+				o = byMem
+			}
+			total += env.Cost[c] * float64(o)
+		}
+		return total
+	}
+}
+
+func isGoal(pos []int, tasks []Task) bool {
+	for ti, p := range pos {
+		if p < len(tasks[ti].Seq) {
+			return false
+		}
+	}
+	return true
+}
+
+// reconstruct rebuilds the schedule from the parent chain: the advanced tasks
+// of each step are the positions that differ between child and parent, and
+// the scanned table is the parent-position element of any advanced sequence.
+func reconstruct(info map[string]*nodeInfo, key string, cost float64, tasks []Task) Schedule {
+	n := len(tasks)
+	var rev []Step
+	for {
+		node := info[key]
+		if node.parent == "" {
+			break
+		}
+		child := posFromKey(key, n)
+		parent := posFromKey(node.parent, n)
+		step := Step{}
+		for ti := 0; ti < n; ti++ {
+			if child[ti] != parent[ti] {
+				step.Advance = append(step.Advance, ti)
+				step.Table = tasks[ti].Seq[parent[ti]]
+			}
+		}
+		rev = append(rev, step)
+		key = node.parent
+	}
+	s := Schedule{Cost: cost, Steps: make([]Step, len(rev))}
+	for i := range rev {
+		s.Steps[i] = rev[len(rev)-1-i]
+	}
+	return s
+}
+
+// stateKey packs the position vector into a compact byte string: positions
+// are bounded by the dependency-sequence lengths (tiny), so one byte each
+// keeps the A* state maps several times smaller than a printable encoding —
+// at numSITs=20 the search can hold tens of millions of generated states.
+func stateKey(pos []int) string {
+	buf := make([]byte, len(pos))
+	for i, p := range pos {
+		if p > 255 {
+			// Fall back to a wide encoding for absurdly long sequences.
+			return wideStateKey(pos)
+		}
+		buf[i] = byte(p)
+	}
+	return string(buf)
+}
+
+func wideStateKey(pos []int) string {
+	var sb strings.Builder
+	sb.WriteByte(0xff)
+	for i, p := range pos {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(p))
+	}
+	return sb.String()
+}
+
+// posFromKey decodes a compact state key back into positions.
+func posFromKey(key string, n int) []int {
+	pos := make([]int, n)
+	if len(key) > 0 && key[0] == 0xff {
+		parts := strings.Split(key[1:], ",")
+		for i := range pos {
+			pos[i], _ = strconv.Atoi(parts[i])
+		}
+		return pos
+	}
+	for i := 0; i < n; i++ {
+		pos[i] = int(key[i])
+	}
+	return pos
+}
+
+type openItem struct {
+	key string
+	f   float64
+}
+
+type openHeap []openItem
+
+func (q openHeap) Len() int            { return len(q) }
+func (q openHeap) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q openHeap) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *openHeap) Push(x interface{}) { *q = append(*q, x.(openItem)) }
+func (q *openHeap) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sit"
+)
+
+// SITTask binds a schedulable Task to a concrete SIT: the dependency sequence
+// plus, per position, the (intermediate) SIT spec whose construction that
+// scan performs — the unfolding of Section 3.2. The last position's spec is
+// the requested SIT itself.
+//
+// The executor handles SITs whose join-tree is a path (chain generating
+// queries, the class the scheduling experiments of Section 5.2 draw from);
+// bushier trees schedule fine as abstract Tasks but must be executed through
+// sit.Builder.Build directly.
+type SITTask struct {
+	Spec query.SITSpec
+	Task Task
+	// SubSpecs[i] is the SIT built when Task.Seq[i] is scanned.
+	SubSpecs []query.SITSpec
+}
+
+// NewSITTask derives the dependency sequence and per-scan sub-specs of a
+// chain SIT.
+func NewSITTask(spec query.SITSpec) (SITTask, error) {
+	if spec.IsBase() {
+		return SITTask{}, fmt.Errorf("sched: base-table statistic %s needs no scheduling", spec.String())
+	}
+	jt, err := spec.Expr.JoinTree(spec.Table)
+	if err != nil {
+		return SITTask{}, err
+	}
+	// Walk the path root -> leaf, collecting nodes.
+	var pathNodes []*query.JoinTree
+	var pathAttrs []string // attribute joining each node to its parent; "" for root
+	node := jt
+	attr := ""
+	for {
+		pathNodes = append(pathNodes, node)
+		pathAttrs = append(pathAttrs, attr)
+		if node.IsLeaf() {
+			break
+		}
+		if len(node.Children) != 1 {
+			return SITTask{}, fmt.Errorf("sched: executor supports chain generating queries; %q branches at %q",
+				spec.Expr.String(), node.Table)
+		}
+		edge := node.Children[0]
+		if len(edge.Preds) != 1 {
+			return SITTask{}, fmt.Errorf("sched: executor supports single-predicate joins; %q has %d predicates below %q",
+				spec.Expr.String(), len(edge.Preds), node.Table)
+		}
+		attr = edge.Preds[0].ChildAttr
+		node = edge.Child
+	}
+	// Scan order: deepest internal node first, root last; the leaf is not
+	// scanned.
+	st := SITTask{Spec: spec, Task: Task{ID: spec.String()}}
+	for i := len(pathNodes) - 2; i >= 0; i-- {
+		n := pathNodes[i]
+		subExpr, err := n.SubtreeExpr()
+		if err != nil {
+			return SITTask{}, err
+		}
+		targetAttr := pathAttrs[i]
+		if i == 0 {
+			targetAttr = spec.Attr
+		}
+		subSpec, err := query.NewSITSpec(n.Table, targetAttr, subExpr)
+		if err != nil {
+			return SITTask{}, err
+		}
+		st.Task.Seq = append(st.Task.Seq, n.Table)
+		st.SubSpecs = append(st.SubSpecs, subSpec)
+	}
+	return st, nil
+}
+
+// Tasks extracts the abstract scheduling tasks.
+func Tasks(sts []SITTask) []Task {
+	out := make([]Task, len(sts))
+	for i, st := range sts {
+		out[i] = st.Task
+	}
+	return out
+}
+
+// Execute runs a validated schedule against the builder: each step performs
+// one shared sequential scan building every advancing task's (intermediate)
+// SIT for that position, via sit.Builder.BuildGroup. It returns the final
+// SITs in task order.
+func Execute(s Schedule, sts []SITTask, b *sit.Builder, method sit.Method) ([]*sit.SIT, error) {
+	tasks := Tasks(sts)
+	pos := make([]int, len(sts))
+	out := make([]*sit.SIT, len(sts))
+	for si, step := range s.Steps {
+		var specs []query.SITSpec
+		var advancing []int
+		for _, ti := range step.Advance {
+			if ti < 0 || ti >= len(sts) {
+				return nil, fmt.Errorf("sched: step %d advances unknown task %d", si, ti)
+			}
+			if pos[ti] >= len(tasks[ti].Seq) {
+				return nil, fmt.Errorf("sched: step %d advances completed task %q", si, tasks[ti].ID)
+			}
+			if tasks[ti].Seq[pos[ti]] != step.Table {
+				return nil, fmt.Errorf("sched: step %d scans %q but task %q expects %q",
+					si, step.Table, tasks[ti].ID, tasks[ti].Seq[pos[ti]])
+			}
+			specs = append(specs, sts[ti].SubSpecs[pos[ti]])
+			advancing = append(advancing, ti)
+		}
+		built, err := b.BuildGroup(specs, method)
+		if err != nil {
+			return nil, err
+		}
+		for i, ti := range advancing {
+			pos[ti]++
+			if pos[ti] == len(tasks[ti].Seq) {
+				out[ti] = built[i]
+			}
+		}
+	}
+	for ti := range sts {
+		if out[ti] == nil {
+			return nil, fmt.Errorf("sched: schedule left task %q incomplete", tasks[ti].ID)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sit"
+)
+
+// example3Catalog builds data for the paper's Example 3:
+//
+//	SIT(T.a | R ⋈r1=s1 S ⋈s3=t3 T)   — dependency sequence (S, T)
+//	SIT(S.b | R ⋈r2=s2 S)            — dependency sequence (S)
+//
+// The optimal strategy shares one sequential scan over S.
+func example3Catalog(t *testing.T) (*data.Catalog, []query.SITSpec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	cat := data.NewCatalog()
+	r := data.MustNewTable("R", "r1", "r2")
+	for i := 0; i < 400; i++ {
+		r.AppendRow(rng.Int63n(40), rng.Int63n(40))
+	}
+	s := data.MustNewTable("S", "s1", "s2", "s3", "b")
+	for i := 0; i < 300; i++ {
+		s.AppendRow(rng.Int63n(40), rng.Int63n(40), rng.Int63n(40), rng.Int63n(500))
+	}
+	tt := data.MustNewTable("T", "t3", "a")
+	for i := 0; i < 200; i++ {
+		tt.AppendRow(rng.Int63n(40), rng.Int63n(500))
+	}
+	cat.MustAdd(r)
+	cat.MustAdd(s)
+	cat.MustAdd(tt)
+
+	e1, err := query.NewExpr(
+		query.JoinPred{LeftTable: "R", LeftAttr: "r1", RightTable: "S", RightAttr: "s1"},
+		query.JoinPred{LeftTable: "S", LeftAttr: "s3", RightTable: "T", RightAttr: "t3"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec1, err := query.NewSITSpec("T", "a", e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := query.NewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "r2", RightTable: "S", RightAttr: "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := query.NewSITSpec("S", "b", e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, []query.SITSpec{spec1, spec2}
+}
+
+func TestNewSITTask(t *testing.T) {
+	_, specs := example3Catalog(t)
+	st, err := NewSITTask(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Task.Seq, []string{"S", "T"}) {
+		t.Errorf("seq = %v, want [S T]", st.Task.Seq)
+	}
+	if len(st.SubSpecs) != 2 {
+		t.Fatalf("subspecs = %v", st.SubSpecs)
+	}
+	// Scanning S builds the intermediate SIT(S.s3 | R ⋈ S).
+	if st.SubSpecs[0].Table != "S" || st.SubSpecs[0].Attr != "s3" || st.SubSpecs[0].Expr.NumTables() != 2 {
+		t.Errorf("intermediate spec = %s", st.SubSpecs[0].String())
+	}
+	// Scanning T builds the requested SIT.
+	if st.SubSpecs[1].Canonical() != specs[0].Canonical() {
+		t.Errorf("final spec = %s, want %s", st.SubSpecs[1].String(), specs[0].String())
+	}
+
+	base, _ := query.NewBaseExpr("R")
+	baseSpec, _ := query.NewSITSpec("R", "r1", base)
+	if _, err := NewSITTask(baseSpec); err == nil {
+		t.Error("base spec: want error")
+	}
+	branching, err := query.NewExpr(
+		query.JoinPred{LeftTable: "R", LeftAttr: "r1", RightTable: "S", RightAttr: "s1"},
+		query.JoinPred{LeftTable: "R", LeftAttr: "r2", RightTable: "T", RightAttr: "t3"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchSpec, _ := query.NewSITSpec("R", "r1", branching)
+	if _, err := NewSITTask(branchSpec); err == nil {
+		t.Error("branching join-tree: want executor error")
+	}
+}
+
+func TestExecuteExample3(t *testing.T) {
+	cat, specs := example3Catalog(t)
+	var sts []SITTask
+	for _, sp := range specs {
+		st, err := NewSITTask(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts = append(sts, st)
+	}
+	env := Env{
+		Cost:       map[string]float64{"S": 3, "T": 2},
+		SampleSize: map[string]float64{"S": 30, "T": 20},
+		Memory:     60,
+	}
+	sched, _, err := Opt(Tasks(sts), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared S scan + one T scan: cost 5, not the naive 8.
+	if sched.Cost != 5 {
+		t.Errorf("optimal cost = %v, want 5", sched.Cost)
+	}
+	if len(sched.Steps) != 2 || sched.Steps[0].Table != "S" || len(sched.Steps[0].Advance) != 2 {
+		t.Errorf("steps = %+v, want shared S scan first", sched.Steps)
+	}
+	if err := Validate(sched, Tasks(sts), env); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := sit.NewBuilder(cat, sit.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Execute(sched, sts, b, sit.SweepFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != 2 {
+		t.Fatalf("built = %d SITs", len(built))
+	}
+	// The executed results must match direct (unscheduled) builds.
+	b2, err := sit.NewBuilder(cat, sit.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		direct, err := b2.Build(sp, sit.SweepFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if built[i] == nil {
+			t.Fatalf("SIT %d not built", i)
+		}
+		if !reflect.DeepEqual(built[i].Hist.Buckets, direct.Hist.Buckets) {
+			t.Errorf("scheduled build %d differs from direct build", i)
+		}
+	}
+}
+
+func TestExecuteRejectsBadSchedule(t *testing.T) {
+	cat, specs := example3Catalog(t)
+	st, err := NewSITTask(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sit.NewBuilder(cat, sit.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan T before S: out of order.
+	bad := Schedule{Steps: []Step{{Table: "T", Advance: []int{0}}}, Cost: 2}
+	if _, err := Execute(bad, []SITTask{st}, b, sit.Sweep); err == nil {
+		t.Error("out-of-order schedule: want error")
+	}
+	// Incomplete.
+	incomplete := Schedule{Steps: []Step{{Table: "S", Advance: []int{0}}}, Cost: 3}
+	if _, err := Execute(incomplete, []SITTask{st}, b, sit.Sweep); err == nil {
+		t.Error("incomplete schedule: want error")
+	}
+	// Unknown task index.
+	unknown := Schedule{Steps: []Step{{Table: "S", Advance: []int{4}}}, Cost: 3}
+	if _, err := Execute(unknown, []SITTask{st}, b, sit.Sweep); err == nil {
+		t.Error("unknown task: want error")
+	}
+}

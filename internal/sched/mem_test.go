@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestOptNumSITs20Memory runs one paper-scale instance (numSITs=20) and
+// asserts the search completes with bounded heap growth — a regression guard
+// for the compact state encoding.
+func TestOptNumSITs20Memory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale instance")
+	}
+	rng := rand.New(rand.NewSource(1))
+	tables := make([]string, 10)
+	env := Env{Cost: map[string]float64{}, SampleSize: map[string]float64{}, Memory: 50000}
+	sizes := []int{341000, 170000, 113000, 85000, 68000, 57000, 49000, 43000, 38000, 36000}
+	for i := range tables {
+		tables[i] = string(rune('A' + i))
+		env.Cost[tables[i]] = float64(sizes[i]) / 1000
+		env.SampleSize[tables[i]] = 0.1 * float64(sizes[i])
+	}
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		l := rng.Intn(4) + 2
+		perm := rng.Perm(10)
+		seq := make([]string, l)
+		for j := 0; j < l; j++ {
+			seq[j] = tables[perm[j]]
+		}
+		tasks[i] = Task{ID: string(rune('a' + i)), Seq: seq}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	s, stats, err := Opt(tasks, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if err := Validate(s, tasks, env); err != nil {
+		t.Fatal(err)
+	}
+	grew := after.TotalAlloc - before.TotalAlloc
+	t.Logf("cost=%v expanded=%d generated=%d elapsed=%v alloc=%dMB",
+		s.Cost, stats.Expanded, stats.Generated, time.Since(start).Round(time.Millisecond), grew>>20)
+	if grew > 4<<30 {
+		t.Errorf("Opt allocated %d MB on one numSITs=20 instance", grew>>20)
+	}
+}

@@ -1,0 +1,26 @@
+package scs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSolve measures the SCS A* on moderate random instances.
+func BenchmarkSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	letters := []string{"a", "b", "c", "d", "e", "f"}
+	seqs := make([][]string, 6)
+	for i := range seqs {
+		s := make([]string, 5)
+		for j := range s {
+			s[j] = letters[rng.Intn(len(letters))]
+		}
+		seqs[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(seqs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package scs solves the Shortest Common Supersequence problem of Section
+// 4.1/4.2: given a set of sequences, find a minimum-cost sequence containing
+// each input as a subsequence. The solver is the A* formulation of Nicosia &
+// Oriolo adapted in the paper: states are vectors of per-sequence positions,
+// an edge labelled c advances every sequence whose next element is c, and the
+// admissible heuristic is h(u) = sum_c cost(c) * o(u,c) where o(u,c) is the
+// maximum number of occurrences of c in any remaining suffix.
+//
+// The package is symbol-cost weighted (the unweighted problem is the special
+// case cost == 1) and also exposes a Dijkstra mode (heuristic off) used to
+// cross-check optimality in tests. The memory-constrained variant needed for
+// multi-SIT scheduling lives in package sched, which generalizes the
+// successor relation.
+package scs
+
+import (
+	"container/heap"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Options tunes the solver.
+type Options struct {
+	// Cost maps each symbol to its weight; symbols absent from a non-nil map
+	// are an error. A nil map means unit costs (classic SCS).
+	Cost map[string]float64
+	// DisableHeuristic turns A* into Dijkstra (used to validate the
+	// heuristic's admissibility in tests).
+	DisableHeuristic bool
+	// MaxExpansions aborts the search after expanding this many states
+	// (0 = unlimited).
+	MaxExpansions int
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Expanded  int
+	Generated int
+}
+
+// Result is a solved SCS instance.
+type Result struct {
+	// Sequence is an optimal common supersequence.
+	Sequence []string
+	// Cost is its total symbol cost (its length under unit costs).
+	Cost  float64
+	Stats Stats
+}
+
+// Solve finds a minimum-cost common supersequence of seqs. Empty input (or
+// all-empty sequences) yields an empty supersequence.
+func Solve(seqs [][]string, opts Options) (Result, error) {
+	syms := map[string]bool{}
+	for _, s := range seqs {
+		for _, c := range s {
+			if c == "" {
+				return Result{}, fmt.Errorf("scs: empty symbol in input")
+			}
+			syms[c] = true
+		}
+	}
+	cost := func(c string) float64 { return 1 }
+	if opts.Cost != nil {
+		for c := range syms {
+			if w, ok := opts.Cost[c]; !ok {
+				return Result{}, fmt.Errorf("scs: no cost for symbol %q", c)
+			} else if w <= 0 {
+				return Result{}, fmt.Errorf("scs: cost for symbol %q must be positive, got %v", c, w)
+			}
+		}
+		cost = func(c string) float64 { return opts.Cost[c] }
+	}
+
+	// suffix counts: cnt[i][p][c] = occurrences of c in seqs[i][p:].
+	cnt := make([]map[string][]int, len(seqs))
+	symList := make([]string, 0, len(syms))
+	for c := range syms {
+		symList = append(symList, c)
+	}
+	for i, s := range seqs {
+		cnt[i] = map[string][]int{}
+		for _, c := range symList {
+			counts := make([]int, len(s)+1)
+			for p := len(s) - 1; p >= 0; p-- {
+				counts[p] = counts[p+1]
+				if s[p] == c {
+					counts[p]++
+				}
+			}
+			cnt[i][c] = counts
+		}
+	}
+	h := func(pos []int) float64 {
+		total := 0.0
+		for _, c := range symList {
+			o := 0
+			for i := range seqs {
+				if n := cnt[i][c][pos[i]]; n > o {
+					o = n
+				}
+			}
+			total += cost(c) * float64(o)
+		}
+		return total
+	}
+	if opts.DisableHeuristic {
+		h = func([]int) float64 { return 0 }
+	}
+
+	start := make([]int, len(seqs))
+	goal := func(pos []int) bool {
+		for i, p := range pos {
+			if p < len(seqs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	info := map[string]*nodeInfo{}
+	startKey := keyOf(start)
+	info[startKey] = &nodeInfo{}
+	pq := &priorityQueue{}
+	heap.Push(pq, pqItem{key: startKey, pos: start, f: h(start)})
+	stats := Stats{Generated: 1}
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(pqItem)
+		ci := info[cur.key]
+		if ci.closed {
+			continue
+		}
+		ci.closed = true
+		stats.Expanded++
+		if opts.MaxExpansions > 0 && stats.Expanded > opts.MaxExpansions {
+			return Result{}, fmt.Errorf("scs: expansion budget %d exhausted", opts.MaxExpansions)
+		}
+		if goal(cur.pos) {
+			return Result{Sequence: reconstruct(info, cur.key), Cost: ci.g, Stats: stats}, nil
+		}
+		// Successors: one per distinct next symbol, advancing every sequence
+		// whose next element is that symbol (dominant in unconstrained SCS).
+		next := map[string]bool{}
+		for i, p := range cur.pos {
+			if p < len(seqs[i]) {
+				next[seqs[i][p]] = true
+			}
+		}
+		for c := range next {
+			npos := make([]int, len(cur.pos))
+			copy(npos, cur.pos)
+			for i, p := range npos {
+				if p < len(seqs[i]) && seqs[i][p] == c {
+					npos[i] = p + 1
+				}
+			}
+			nk := keyOf(npos)
+			ng := ci.g + cost(c)
+			ni, seen := info[nk]
+			if seen && (ni.closed || ni.g <= ng) {
+				continue
+			}
+			if !seen {
+				ni = &nodeInfo{}
+				info[nk] = ni
+			}
+			ni.g = ng
+			ni.parent = cur.key
+			ni.label = c
+			heap.Push(pq, pqItem{key: nk, pos: npos, f: ng + h(npos)})
+			stats.Generated++
+		}
+	}
+	return Result{}, fmt.Errorf("scs: search exhausted without reaching the goal")
+}
+
+func reconstruct(info map[string]*nodeInfo, key string) []string {
+	var rev []string
+	for {
+		n := info[key]
+		if n.label == "" {
+			break
+		}
+		rev = append(rev, n.label)
+		key = n.parent
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// nodeInfo is the per-state bookkeeping of the A* search.
+type nodeInfo struct {
+	g      float64
+	parent string
+	label  string
+	closed bool
+}
+
+func keyOf(pos []int) string {
+	var sb strings.Builder
+	for i, p := range pos {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(p))
+	}
+	return sb.String()
+}
+
+// IsSupersequence reports whether super contains sub as a subsequence.
+func IsSupersequence(super, sub []string) bool {
+	j := 0
+	for _, c := range super {
+		if j < len(sub) && sub[j] == c {
+			j++
+		}
+	}
+	return j == len(sub)
+}
+
+type pqItem struct {
+	key string
+	pos []int
+	f   float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

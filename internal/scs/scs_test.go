@@ -1,0 +1,209 @@
+package scs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func seq(s string) []string {
+	out := make([]string, len(s))
+	for i, r := range s {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func TestPaperExample4(t *testing.T) {
+	// Example 4: SCS({abdc, bca}) has length 5 (abdca is one solution).
+	res, err := Solve([][]string{seq("abdc"), seq("bca")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 5 || len(res.Sequence) != 5 {
+		t.Errorf("cost = %v, seq = %v, want length 5", res.Cost, res.Sequence)
+	}
+	for _, in := range [][]string{seq("abdc"), seq("bca")} {
+		if !IsSupersequence(res.Sequence, in) {
+			t.Errorf("%v is not a supersequence of %v", res.Sequence, in)
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	res, err := Solve(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sequence) != 0 || res.Cost != 0 {
+		t.Errorf("empty instance: %v", res)
+	}
+	res, err = Solve([][]string{{}, {}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sequence) != 0 {
+		t.Errorf("all-empty sequences: %v", res.Sequence)
+	}
+	res, err = Solve([][]string{seq("abc")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Sequence, seq("abc")) {
+		t.Errorf("single sequence should be its own SCS: %v", res.Sequence)
+	}
+	if _, err := Solve([][]string{{""}}, Options{}); err == nil {
+		t.Error("empty symbol: want error")
+	}
+}
+
+func TestIdenticalSequences(t *testing.T) {
+	res, err := Solve([][]string{seq("xyz"), seq("xyz"), seq("xyz")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 {
+		t.Errorf("identical sequences: cost %v, want 3", res.Cost)
+	}
+}
+
+func TestDisjointSequences(t *testing.T) {
+	res, err := Solve([][]string{seq("ab"), seq("cd")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 4 {
+		t.Errorf("disjoint sequences: cost %v, want 4", res.Cost)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	// Sequences {ab, ba}: SCSs of length 3 are aba and bab. With a costing
+	// 10 and b costing 1, bab (cost 12) beats aba (cost 21).
+	res, err := Solve([][]string{seq("ab"), seq("ba")}, Options{
+		Cost: map[string]float64{"a": 10, "b": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Sequence, seq("bab")) {
+		t.Errorf("weighted SCS = %v, want [b a b]", res.Sequence)
+	}
+	if res.Cost != 12 {
+		t.Errorf("cost = %v, want 12", res.Cost)
+	}
+	if _, err := Solve([][]string{seq("ab")}, Options{Cost: map[string]float64{"a": 1}}); err == nil {
+		t.Error("missing symbol cost: want error")
+	}
+	if _, err := Solve([][]string{seq("a")}, Options{Cost: map[string]float64{"a": -1}}); err == nil {
+		t.Error("non-positive cost: want error")
+	}
+}
+
+func TestExpansionBudget(t *testing.T) {
+	seqs := [][]string{seq("abcabcabc"), seq("cbacbacba"), seq("bacbacbac")}
+	if _, err := Solve(seqs, Options{MaxExpansions: 2}); err == nil {
+		t.Error("tiny expansion budget: want error")
+	}
+}
+
+func TestHeuristicMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	letters := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(3) + 2
+		seqs := make([][]string, n)
+		for i := range seqs {
+			l := rng.Intn(5) + 1
+			s := make([]string, l)
+			for j := range s {
+				s[j] = letters[rng.Intn(len(letters))]
+			}
+			seqs[i] = s
+		}
+		cost := map[string]float64{"a": 1, "b": 2, "c": 3, "d": 1.5}
+		astar, err := Solve(seqs, Options{Cost: cost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dij, err := Solve(seqs, Options{Cost: cost, DisableHeuristic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if astar.Cost != dij.Cost {
+			t.Fatalf("trial %d: A* cost %v != Dijkstra cost %v (seqs %v)", trial, astar.Cost, dij.Cost, seqs)
+		}
+		if astar.Stats.Expanded > dij.Stats.Expanded {
+			t.Errorf("trial %d: heuristic expanded more states (%d) than Dijkstra (%d)",
+				trial, astar.Stats.Expanded, dij.Stats.Expanded)
+		}
+	}
+}
+
+func TestIsSupersequence(t *testing.T) {
+	cases := []struct {
+		super, sub string
+		want       bool
+	}{
+		{"abdca", "abdc", true},
+		{"abdca", "bca", true},
+		{"abdca", "cab", false},
+		{"", "", true},
+		{"abc", "", true},
+		{"", "a", false},
+		{"aab", "ab", true},
+	}
+	for _, c := range cases {
+		if got := IsSupersequence(seq(c.super), seq(c.sub)); got != c.want {
+			t.Errorf("IsSupersequence(%q,%q) = %v, want %v", c.super, c.sub, got, c.want)
+		}
+	}
+}
+
+// Property: the solution is a common supersequence, its length is at least
+// the longest input and at most the total input length, and unit cost equals
+// length.
+func TestSolveQuick(t *testing.T) {
+	letters := []string{"a", "b", "c"}
+	f := func(raw [][]byte) bool {
+		if len(raw) > 4 {
+			raw = raw[:4]
+		}
+		var seqs [][]string
+		total, longest := 0, 0
+		for _, r := range raw {
+			if len(r) > 6 {
+				r = r[:6]
+			}
+			s := make([]string, len(r))
+			for i, b := range r {
+				s[i] = letters[int(b)%len(letters)]
+			}
+			seqs = append(seqs, s)
+			total += len(s)
+			if len(s) > longest {
+				longest = len(s)
+			}
+		}
+		res, err := Solve(seqs, Options{})
+		if err != nil {
+			return false
+		}
+		if int(res.Cost) != len(res.Sequence) {
+			return false
+		}
+		if len(res.Sequence) < longest || len(res.Sequence) > total {
+			return false
+		}
+		for _, s := range seqs {
+			if !IsSupersequence(res.Sequence, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

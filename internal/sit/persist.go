@@ -1,0 +1,113 @@
+package sit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/sitstats/sits/internal/histogram"
+	"github.com/sitstats/sits/internal/query"
+)
+
+// persistedSIT is the stable on-disk form of one SIT: the spec in its
+// parseable textual notation, the creation method by name, and the histogram
+// in the histogram package's serialization format.
+type persistedSIT struct {
+	Spec          string          `json:"spec"`
+	Method        string          `json:"method"`
+	EstimatedCard float64         `json:"estimated_card"`
+	Histogram     json.RawMessage `json:"histogram"`
+}
+
+type persistedSet struct {
+	Version int            `json:"version"`
+	SITs    []persistedSIT `json:"sits"`
+}
+
+const persistVersion = 1
+
+// SaveSITs serializes a set of SITs as JSON; LoadSITs restores them. This is
+// the persistence layer a deployment needs between statistics-creation runs
+// and optimization time.
+func SaveSITs(w io.Writer, sits []*SIT) error {
+	set := persistedSet{Version: persistVersion}
+	for _, s := range sits {
+		if s == nil || s.Hist == nil {
+			return fmt.Errorf("sit: cannot persist nil SIT")
+		}
+		var hb bytes.Buffer
+		if err := s.Hist.Write(&hb); err != nil {
+			return err
+		}
+		set.SITs = append(set.SITs, persistedSIT{
+			Spec:          specText(s.Spec),
+			Method:        s.Method.String(),
+			EstimatedCard: s.EstimatedCard,
+			Histogram:     json.RawMessage(hb.Bytes()),
+		})
+	}
+	return json.NewEncoder(w).Encode(set)
+}
+
+// specText renders a spec in the "T.a | <expr>" notation ParseSIT accepts.
+func specText(spec query.SITSpec) string {
+	return fmt.Sprintf("%s.%s | %s", spec.Table, spec.Attr, spec.Expr.String())
+}
+
+// LoadSITs restores SITs written by SaveSITs, validating each histogram.
+func LoadSITs(r io.Reader) ([]*SIT, error) {
+	var set persistedSet
+	if err := json.NewDecoder(r).Decode(&set); err != nil {
+		return nil, fmt.Errorf("sit: decoding persisted SITs: %w", err)
+	}
+	if set.Version != persistVersion {
+		return nil, fmt.Errorf("sit: unsupported persistence version %d", set.Version)
+	}
+	out := make([]*SIT, 0, len(set.SITs))
+	for i, p := range set.SITs {
+		spec, err := query.ParseSIT(p.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("sit: persisted SIT %d: %w", i, err)
+		}
+		m, err := parseMethod(p.Method)
+		if err != nil {
+			return nil, fmt.Errorf("sit: persisted SIT %d: %w", i, err)
+		}
+		h, err := histogram.Read(bytes.NewReader(p.Histogram))
+		if err != nil {
+			return nil, fmt.Errorf("sit: persisted SIT %d: %w", i, err)
+		}
+		if p.EstimatedCard < 0 {
+			return nil, fmt.Errorf("sit: persisted SIT %d has negative cardinality", i)
+		}
+		out = append(out, &SIT{Spec: spec, Hist: h, Method: m, EstimatedCard: p.EstimatedCard})
+	}
+	return out, nil
+}
+
+// parseMethod inverts Method.String.
+func parseMethod(name string) (Method, error) {
+	for _, m := range []Method{HistSIT, Sweep, SweepIndex, SweepFull, SweepExact, Materialize} {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sit: unknown creation method %q", name)
+}
+
+// AdoptCached inserts externally loaded SITs into the builder's cache so
+// subsequent Build calls (and intermediate-SIT lookups) reuse them.
+func (b *Builder) AdoptCached(sits []*SIT) error {
+	for _, s := range sits {
+		if s == nil || s.Hist == nil {
+			return fmt.Errorf("sit: cannot adopt nil SIT")
+		}
+		if err := s.Hist.Validate(); err != nil {
+			return fmt.Errorf("sit: adopting %s: %w", s.Spec.String(), err)
+		}
+		b.sits[cacheKey(s.Spec, s.Method)] = s
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package sit
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cat := smallJoinCatalog(t)
+	b := newBuilder(t, cat)
+	spec := singleJoinSpec(t)
+	var sits []*SIT
+	for _, m := range []Method{Sweep, SweepFull, HistSIT} {
+		s, err := b.Build(spec, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sits = append(sits, s)
+	}
+	var buf bytes.Buffer
+	if err := SaveSITs(&buf, sits); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSITs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sits) {
+		t.Fatalf("loaded %d SITs, want %d", len(back), len(sits))
+	}
+	for i := range sits {
+		if back[i].Spec.Canonical() != sits[i].Spec.Canonical() {
+			t.Errorf("SIT %d spec changed: %s vs %s", i, back[i].Spec.String(), sits[i].Spec.String())
+		}
+		if back[i].Method != sits[i].Method {
+			t.Errorf("SIT %d method changed: %v vs %v", i, back[i].Method, sits[i].Method)
+		}
+		if back[i].EstimatedCard != sits[i].EstimatedCard {
+			t.Errorf("SIT %d cardinality changed", i)
+		}
+		if !reflect.DeepEqual(back[i].Hist.Buckets, sits[i].Hist.Buckets) {
+			t.Errorf("SIT %d histogram changed", i)
+		}
+	}
+}
+
+func TestSaveLoadErrors(t *testing.T) {
+	if err := SaveSITs(&bytes.Buffer{}, []*SIT{nil}); err == nil {
+		t.Error("nil SIT: want error")
+	}
+	if _, err := LoadSITs(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: want error")
+	}
+	if _, err := LoadSITs(strings.NewReader(`{"version":9,"sits":[]}`)); err == nil {
+		t.Error("bad version: want error")
+	}
+	bad := `{"version":1,"sits":[{"spec":"nonsense","method":"Sweep","estimated_card":1,"histogram":{"version":1,"buckets":[]}}]}`
+	if _, err := LoadSITs(strings.NewReader(bad)); err == nil {
+		t.Error("unparseable spec: want error")
+	}
+	bad = `{"version":1,"sits":[{"spec":"S.a | R JOIN S ON R.x = S.y","method":"Bogus","estimated_card":1,"histogram":{"version":1,"buckets":[]}}]}`
+	if _, err := LoadSITs(strings.NewReader(bad)); err == nil {
+		t.Error("unknown method: want error")
+	}
+	bad = `{"version":1,"sits":[{"spec":"S.a | R JOIN S ON R.x = S.y","method":"Sweep","estimated_card":-5,"histogram":{"version":1,"buckets":[]}}]}`
+	if _, err := LoadSITs(strings.NewReader(bad)); err == nil {
+		t.Error("negative cardinality: want error")
+	}
+}
+
+func TestAdoptCached(t *testing.T) {
+	cat := smallJoinCatalog(t)
+	b := newBuilder(t, cat)
+	spec := singleJoinSpec(t)
+	s, err := b.Build(spec, SweepFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSITs(&buf, []*SIT{s}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSITs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := newBuilder(t, cat)
+	if err := b2.AdoptCached(loaded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Build(spec, SweepFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != loaded[0] {
+		t.Error("Build did not return the adopted SIT")
+	}
+	if err := b2.AdoptCached([]*SIT{nil}); err == nil {
+		t.Error("adopt nil: want error")
+	}
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range []Method{HistSIT, Sweep, SweepIndex, SweepFull, SweepExact, Materialize} {
+		got, err := parseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("parseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := parseMethod("nope"); err == nil {
+		t.Error("unknown method: want error")
+	}
+}

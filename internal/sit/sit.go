@@ -1,0 +1,305 @@
+// Package sit is the core of the reproduction: it implements SITs
+// (statistics on query expressions, Definition 1 of the paper) and the
+// family of creation techniques of Section 3 —
+//
+//   - Sweep: one sequential scan per non-root join-tree table, histogram
+//     m-Oracle (containment assumption), reservoir sampling.
+//   - SweepIndex: exact index-based multiplicities where the joined side is a
+//     base table (drops the containment assumption at the leaves).
+//   - SweepFull: no sampling; the streamed multiset is aggregated exactly
+//     (drops the sampling assumption).
+//   - SweepExact: index multiplicities + no sampling + exact intermediate
+//     distributions; provably equal to materializing the generating query
+//     and building the histogram over the result.
+//   - HistSIT: the traditional optimizer baseline that propagates base-table
+//     histograms through the join plan under the independence and
+//     containment assumptions (Section 2.1), touching no data.
+//   - Materialize: executes the generating query with the executor and
+//     builds the histogram over the materialized result (ground truth).
+//
+// Chain and general acyclic-join generating queries are handled by the
+// join-tree unfolding of Section 3.2: intermediate SITs are built bottom-up
+// in post-order and feed the m-Oracles of their parents.
+package sit
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sitstats/sits/internal/btree"
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/histogram"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sample"
+)
+
+// Method selects a SIT creation technique.
+type Method int
+
+const (
+	// HistSIT propagates base-table histograms (the optimizer baseline).
+	HistSIT Method = iota
+	// Sweep is the paper's main technique (Section 3.1).
+	Sweep
+	// SweepIndex replaces the histogram m-Oracle with exact index lookups.
+	SweepIndex
+	// SweepFull omits reservoir sampling.
+	SweepFull
+	// SweepExact combines SweepIndex and SweepFull with exact intermediates.
+	SweepExact
+	// Materialize executes the generating query and builds the histogram
+	// over the actual result.
+	Materialize
+)
+
+// String returns the technique name as used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case HistSIT:
+		return "Hist-SIT"
+	case Sweep:
+		return "Sweep"
+	case SweepIndex:
+		return "SweepIndex"
+	case SweepFull:
+		return "SweepFull"
+	case SweepExact:
+		return "SweepExact"
+	case Materialize:
+		return "Materialize"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all creation techniques in the order the paper compares them.
+func Methods() []Method {
+	return []Method{HistSIT, Sweep, SweepIndex, SweepFull, SweepExact}
+}
+
+// SIT is a statistic over a query expression: the histogram approximates the
+// distribution of Spec.Table.Spec.Attr in the result of Spec.Expr.
+type SIT struct {
+	Spec query.SITSpec
+	Hist *histogram.Histogram
+	// Method records how the SIT was created.
+	Method Method
+	// EstimatedCard is the creation-time estimate of |Spec.Expr|; for exact
+	// methods it equals the true cardinality.
+	EstimatedCard float64
+	// builtAgainst snapshots the base-table sizes at creation time for
+	// staleness tracking; nil for SITs loaded without snapshots.
+	builtAgainst snapshot
+}
+
+// EstimateRange estimates |sigma_{lo <= attr <= hi}(Q)| from the SIT.
+func (s *SIT) EstimateRange(lo, hi int64) float64 { return s.Hist.EstimateRange(lo, hi) }
+
+// Config parameterizes a Builder.
+type Config struct {
+	// Buckets is the histogram bucket budget (the paper's default nb = 100).
+	Buckets int
+	// HistMethod is the histogram construction algorithm (default
+	// MaxDiffArea, the paper's MaxDiff variant).
+	HistMethod histogram.Method
+	// SampleRate is the reservoir size as a fraction of the scanned table
+	// (the paper's default is 10%).
+	SampleRate float64
+	// MinSample floors the reservoir size so tiny tables still sample.
+	MinSample int
+	// Seed drives sampling.
+	Seed int64
+	// WeightedSampling switches Sweep/SweepIndex from stochastic-rounding
+	// Algorithm R to an Efraimidis-Spirakis weighted reservoir (extension).
+	WeightedSampling bool
+	// Use2DOracles answers double-predicate join edges to base tables from
+	// two-dimensional histograms instead of multiplying independent 1-D
+	// oracles (the multidimensional-histogram extension of Section 3.2).
+	Use2DOracles bool
+	// Slices2D is the per-dimension slice count of the 2-D histograms
+	// (default 16, i.e. up to 256 cells).
+	Slices2D int
+	// Distinct selects the distinct-value estimator applied to sampled
+	// buckets (default GEE; see the sample package).
+	Distinct sample.DistinctEstimator
+}
+
+// DefaultConfig returns the paper's experimental defaults.
+func DefaultConfig() Config {
+	return Config{
+		Buckets:    100,
+		HistMethod: histogram.MaxDiffArea,
+		SampleRate: 0.10,
+		MinSample:  100,
+		Seed:       1,
+		Slices2D:   16,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Buckets <= 0 {
+		return fmt.Errorf("sit: config needs positive bucket count, got %d", c.Buckets)
+	}
+	if c.SampleRate <= 0 || c.SampleRate > 1 {
+		return fmt.Errorf("sit: sample rate %v out of (0,1]", c.SampleRate)
+	}
+	if c.MinSample < 1 {
+		return fmt.Errorf("sit: minimum sample size %d must be >= 1", c.MinSample)
+	}
+	if c.Use2DOracles && c.Slices2D < 1 {
+		return fmt.Errorf("sit: 2-D oracle slice count %d must be >= 1", c.Slices2D)
+	}
+	return nil
+}
+
+// Builder creates SITs over a catalog. It caches base-table histograms,
+// B+tree indexes, and intermediate SITs (per method), so repeated builds and
+// shared sub-expressions are computed once.
+type Builder struct {
+	cat  *data.Catalog
+	cfg  Config
+	base map[string]*histogram.Histogram // "T.a" -> base histogram
+	h2d  map[string]*histogram.Hist2D    // "T.a1.a2" -> 2-D histogram
+	idx  map[string]*btree.Tree          // "T.a" -> index
+	sits map[string]*SIT                 // method + canonical spec -> SIT
+	seed int64                           // per-reservoir seed sequence
+}
+
+// NewBuilder creates a Builder over the catalog.
+func NewBuilder(cat *data.Catalog, cfg Config) (*Builder, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("sit: NewBuilder needs a catalog")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{
+		cat:  cat,
+		cfg:  cfg,
+		base: map[string]*histogram.Histogram{},
+		h2d:  map[string]*histogram.Hist2D{},
+		idx:  map[string]*btree.Tree{},
+		sits: map[string]*SIT{},
+		seed: cfg.Seed,
+	}, nil
+}
+
+// hist2D returns (building and caching on first use) the 2-D histogram over
+// the table's attribute pair.
+func (b *Builder) hist2D(table, attr1, attr2 string) (*histogram.Hist2D, error) {
+	key := table + "." + attr1 + "." + attr2
+	if h, ok := b.h2d[key]; ok {
+		return h, nil
+	}
+	t, err := b.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := t.Column(attr1)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := t.Column(attr2)
+	if err != nil {
+		return nil, err
+	}
+	h, err := histogram.Build2D(c1, c2, b.cfg.Slices2D, b.cfg.Slices2D)
+	if err != nil {
+		return nil, err
+	}
+	b.h2d[key] = h
+	return h, nil
+}
+
+// Catalog returns the data catalog the builder operates on.
+func (b *Builder) Catalog() *data.Catalog { return b.cat }
+
+// Config returns the builder configuration.
+func (b *Builder) Config() Config { return b.cfg }
+
+// nextSeed returns a fresh deterministic seed for a reservoir.
+func (b *Builder) nextSeed() int64 {
+	b.seed++
+	return b.seed
+}
+
+// BaseHistogram returns (building and caching on first use) the base-table
+// histogram over table.attr with the configured bucket budget.
+func (b *Builder) BaseHistogram(table, attr string) (*histogram.Histogram, error) {
+	return b.baseHistogramN(table, attr, b.cfg.Buckets)
+}
+
+// baseHistogramN builds a base histogram with an explicit bucket budget;
+// SweepExact uses an effectively unbounded budget for exactness.
+func (b *Builder) baseHistogramN(table, attr string, nb int) (*histogram.Histogram, error) {
+	key := fmt.Sprintf("%s.%s#%d", table, attr, nb)
+	if h, ok := b.base[key]; ok {
+		return h, nil
+	}
+	t, err := b.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := t.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	h, err := histogram.FromValues(vals, nb, b.cfg.HistMethod)
+	if err != nil {
+		return nil, err
+	}
+	b.base[key] = h
+	return h, nil
+}
+
+// Index returns (building and caching on first use) a B+tree over table.attr
+// for exact multiplicity lookups.
+func (b *Builder) Index(table, attr string) (*btree.Tree, error) {
+	key := table + "." + attr
+	if t, ok := b.idx[key]; ok {
+		return t, nil
+	}
+	tab, err := b.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := tab.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	tree := btree.Build(vals)
+	b.idx[key] = tree
+	return tree, nil
+}
+
+// Cached returns the cached SIT for a spec and method, if present.
+func (b *Builder) Cached(spec query.SITSpec, m Method) (*SIT, bool) {
+	s, ok := b.sits[cacheKey(spec, m)]
+	return s, ok
+}
+
+// InvalidateCache drops all cached SITs (but keeps base histograms and
+// indexes, which only depend on the immutable base data).
+func (b *Builder) InvalidateCache() { b.sits = map[string]*SIT{} }
+
+func cacheKey(spec query.SITSpec, m Method) string {
+	return m.String() + "|" + spec.Canonical()
+}
+
+// SampleSize returns the reservoir capacity used when scanning the table:
+// max(MinSample, SampleRate * |table|). This is the SampleSize(T) quantity of
+// the scheduling cost model (Section 4.3).
+func (b *Builder) SampleSize(table string) (int, error) {
+	t, err := b.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	k := int(b.cfg.SampleRate * float64(t.NumRows()))
+	if k < b.cfg.MinSample {
+		k = b.cfg.MinSample
+	}
+	return k, nil
+}
+
+// exactBuckets is the "unbounded" bucket budget used by exact paths.
+const exactBuckets = math.MaxInt32

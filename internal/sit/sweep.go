@@ -1,0 +1,241 @@
+package sit
+
+import (
+	"github.com/sitstats/sits/internal/btree"
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/histogram"
+	"github.com/sitstats/sits/internal/sample"
+)
+
+// oracle is the m-Oracle of Section 3.1: it estimates (or computes) the
+// multiplicity of the scanned tuple's join-attribute value(s) in the joined
+// relation. Single-predicate oracles receive one value; the 2-D oracle for
+// double-predicate edges receives the tuple's pair.
+type oracle interface {
+	multiplicity(vals []int64) float64
+}
+
+// histOracle implements getMultiplicity of Section 3.1.1: the expected
+// multiplicity under the containment assumption, computed from the histogram
+// over the joined side (child: a base histogram or an intermediate SIT) and
+// the base histogram over the scanned attribute (parent).
+type histOracle struct {
+	child, parent *histogram.Histogram
+}
+
+func (o histOracle) multiplicity(vals []int64) float64 {
+	return histogram.ContainmentMultiplicity(o.child, o.parent, vals[0])
+}
+
+// indexOracle implements the SweepIndex m-Oracle: an exact duplicate count
+// from a B+tree over the joined base table's attribute.
+type indexOracle struct {
+	idx *btree.Tree
+}
+
+func (o indexOracle) multiplicity(vals []int64) float64 {
+	return float64(o.idx.Count(vals[0]))
+}
+
+// oracle2D answers double-predicate edges from two-dimensional histograms
+// over the child and parent attribute pairs — the multidimensional-histogram
+// extension Section 3.2 defers. It avoids the between-predicate independence
+// approximation that multiplying two 1-D oracles would introduce.
+type oracle2D struct {
+	child, parent *histogram.Hist2D
+}
+
+func (o oracle2D) multiplicity(vals []int64) float64 {
+	return histogram.Multiplicity2D(o.child, o.parent, vals[0], vals[1])
+}
+
+// consumer absorbs the streamed (value, multiplicity) pairs of Sweep's step 3
+// and produces the final histogram.
+type consumer interface {
+	add(v int64, m float64)
+	// result returns the histogram (with nb buckets, built by method) and the
+	// total streamed mass (the estimated cardinality of the generating
+	// query's result).
+	result(nb int, method histogram.Method) (*histogram.Histogram, float64, error)
+}
+
+// sampledConsumer is Sweep's default: stochastic-rounding reservoir sampling
+// (Algorithm R over the replicated stream) followed by a histogram over the
+// sample, scaled to the streamed mass. Per-bucket distinct counts are
+// corrected with the GEE estimator (the sampling assumption of Section 2.1).
+type sampledConsumer struct {
+	res  *sample.Reservoir
+	mass float64
+	est  sample.DistinctEstimator
+}
+
+func newSampledConsumer(k int, seed int64, est sample.DistinctEstimator) (*sampledConsumer, error) {
+	r, err := sample.NewReservoir(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &sampledConsumer{res: r, est: est}, nil
+}
+
+func (c *sampledConsumer) add(v int64, m float64) {
+	if m <= 0 {
+		return
+	}
+	c.mass += m
+	c.res.AddWeighted(v, m)
+}
+
+func (c *sampledConsumer) result(nb int, method histogram.Method) (*histogram.Histogram, float64, error) {
+	h, err := histogramFromSample(c.res.Sample(), c.mass, nb, method, c.est)
+	return h, c.mass, err
+}
+
+// weightedConsumer is the weighted-reservoir variant (extension): fractional
+// multiplicities are consumed directly, avoiding rounding noise.
+type weightedConsumer struct {
+	res *sample.WeightedReservoir
+	est sample.DistinctEstimator
+}
+
+func newWeightedConsumer(k int, seed int64, est sample.DistinctEstimator) (*weightedConsumer, error) {
+	r, err := sample.NewWeightedReservoir(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &weightedConsumer{res: r, est: est}, nil
+}
+
+func (c *weightedConsumer) add(v int64, m float64) { c.res.Add(v, m) }
+
+func (c *weightedConsumer) result(nb int, method histogram.Method) (*histogram.Histogram, float64, error) {
+	h, err := histogramFromSample(c.res.Sample(), c.res.Mass(), nb, method, c.est)
+	return h, c.res.Mass(), err
+}
+
+// histogramFromSample builds a histogram over sample values, scales it to the
+// full stream mass, and replaces per-bucket distinct counts with estimates
+// (GEE by default) against the scaled bucket populations.
+func histogramFromSample(vals []int64, mass float64, nb int, method histogram.Method, est sample.DistinctEstimator) (*histogram.Histogram, error) {
+	h, err := histogram.FromValues(vals, nb, method)
+	if err != nil {
+		return nil, err
+	}
+	if h.NumBuckets() == 0 || mass <= 0 {
+		return &histogram.Histogram{}, nil
+	}
+	scaled := h.ScaleTo(mass)
+	for i := range scaled.Buckets {
+		b := &scaled.Buckets[i]
+		var inBucket []int64
+		for _, v := range vals {
+			if b.Contains(v) {
+				inBucket = append(inBucket, v)
+			}
+		}
+		d, err := sample.EstimateDistinctWith(est, inBucket, int64(b.Freq+0.5))
+		if err != nil {
+			return nil, err
+		}
+		if d > b.Width() {
+			d = b.Width()
+		}
+		if d > b.Freq {
+			d = b.Freq
+		}
+		b.Distinct = d
+	}
+	return scaled, nil
+}
+
+// fullConsumer aggregates the whole stream exactly as a value -> total weight
+// map (SweepFull and SweepExact: no sampling assumption). This mirrors the
+// paper's "materialize the temporary table" with the aggregation done on the
+// fly, which is equivalent for histogram construction.
+type fullConsumer struct {
+	weights map[int64]float64
+	mass    float64
+}
+
+func newFullConsumer() *fullConsumer {
+	return &fullConsumer{weights: map[int64]float64{}}
+}
+
+func (c *fullConsumer) add(v int64, m float64) {
+	if m <= 0 {
+		return
+	}
+	c.weights[v] += m
+	c.mass += m
+}
+
+func (c *fullConsumer) result(nb int, method histogram.Method) (*histogram.Histogram, float64, error) {
+	h, err := histogram.FromPairs(histogram.TallyMap(c.weights), nb, method)
+	return h, c.mass, err
+}
+
+// jobPred is one join edge of the scan: the scanned table's attribute(s)
+// and the oracle that answers multiplicities for them.
+type jobPred struct {
+	attrs []string
+	o     oracle
+}
+
+// scanJob is one SIT produced by a shared sequential scan (Section 4's
+// "sharing the same sequential scan to build more than one SIT"): the target
+// attribute whose values are streamed, the per-predicate oracles whose
+// multiplicities are multiplied (acyclic multi-child case, Section 3.2), and
+// the consumer that absorbs the stream.
+type scanJob struct {
+	targetAttr string
+	preds      []jobPred
+	cons       consumer
+}
+
+// runSharedScan performs one sequential scan over the table and feeds every
+// job. Per tuple and job, the multiplicity is the product of the per-
+// predicate oracle answers; the job's target value is streamed with that
+// multiplicity.
+func runSharedScan(t *data.Table, jobs []*scanJob) error {
+	// Collect the union of required columns.
+	colIdx := map[string]int{}
+	var cols []string
+	need := func(c string) {
+		if _, ok := colIdx[c]; !ok {
+			colIdx[c] = len(cols)
+			cols = append(cols, c)
+		}
+	}
+	for _, j := range jobs {
+		need(j.targetAttr)
+		for _, p := range j.preds {
+			for _, a := range p.attrs {
+				need(a)
+			}
+		}
+	}
+	sc, err := t.Scan(cols...)
+	if err != nil {
+		return err
+	}
+	vbuf := make([]int64, 4)
+	for sc.Next() {
+		row := sc.Row()
+		for _, j := range jobs {
+			m := 1.0
+			for _, p := range j.preds {
+				vals := vbuf[:0]
+				for _, a := range p.attrs {
+					vals = append(vals, row[colIdx[a]])
+				}
+				m *= p.o.multiplicity(vals)
+				if m == 0 {
+					break
+				}
+			}
+			if m > 0 {
+				j.cons.add(row[colIdx[j.targetAttr]], m)
+			}
+		}
+	}
+	return nil
+}

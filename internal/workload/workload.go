@@ -1,0 +1,172 @@
+// Package workload implements the evaluation methodology of Section 5.1:
+// random range queries over a SIT's domain and the relative-error metric
+// between actual and estimated cardinalities ("we issued 1,000 random range
+// queries over the SIT domain ... and calculated the relative error between
+// the actual and estimated cardinalities").
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RangeQuery is one inclusive range predicate lo <= attr <= hi over the SIT's
+// attribute; it stands for the SPJ query sigma_{lo<=attr<=hi}(Q).
+type RangeQuery struct {
+	Lo, Hi int64
+}
+
+// RandomRangeQueries draws n random inclusive ranges within [lo, hi]: the
+// left endpoint uniform in the domain and the right endpoint uniform between
+// the left endpoint and the domain maximum.
+func RandomRangeQueries(rng *rand.Rand, lo, hi int64, n int) ([]RangeQuery, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("workload: empty domain [%d,%d]", lo, hi)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: query count %d must be positive", n)
+	}
+	out := make([]RangeQuery, n)
+	width := hi - lo + 1
+	for i := range out {
+		a := lo + rng.Int63n(width)
+		b := a + rng.Int63n(hi-a+1)
+		out[i] = RangeQuery{Lo: a, Hi: b}
+	}
+	return out, nil
+}
+
+// FilteredRangeQueries draws random range queries like RandomRangeQueries
+// but keeps only those whose true result cardinality is at least minCount, so
+// relative errors measure estimation quality rather than divide-by-nearly-
+// zero artifacts in sparse regions of the domain. It gives up (returning an
+// error) when the acceptance rate is too low to collect n queries within
+// 1000*n draws.
+func FilteredRangeQueries(rng *rand.Rand, lo, hi int64, n int, minCount int64, truth *Truth) ([]RangeQuery, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("workload: empty domain [%d,%d]", lo, hi)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: query count %d must be positive", n)
+	}
+	if truth == nil {
+		return nil, fmt.Errorf("workload: FilteredRangeQueries needs ground truth")
+	}
+	out := make([]RangeQuery, 0, n)
+	width := hi - lo + 1
+	for attempts := 0; len(out) < n; attempts++ {
+		if attempts > 1000*n {
+			return nil, fmt.Errorf("workload: could not find %d queries with >= %d results (got %d)", n, minCount, len(out))
+		}
+		a := lo + rng.Int63n(width)
+		b := a + rng.Int63n(hi-a+1)
+		q := RangeQuery{Lo: a, Hi: b}
+		if truth.Count(q) >= minCount {
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}
+
+// RelativeError returns |actual - estimated| / max(actual, 1). Clamping the
+// denominator avoids division by zero on empty ranges while still penalizing
+// spurious estimates.
+func RelativeError(actual, estimated float64) float64 {
+	den := actual
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(actual-estimated) / den
+}
+
+// Truth answers exact range counts over a materialized attribute value
+// multiset in O(log n) per query.
+type Truth struct {
+	sorted []int64
+}
+
+// NewTruth indexes the exact attribute values of the generating query's
+// result (as produced by exec.AttrValues).
+func NewTruth(vals []int64) *Truth {
+	s := make([]int64, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return &Truth{sorted: s}
+}
+
+// Count returns |{v : lo <= v <= hi}|.
+func (t *Truth) Count(q RangeQuery) int64 {
+	lo := sort.Search(len(t.sorted), func(i int) bool { return t.sorted[i] >= q.Lo })
+	hi := sort.Search(len(t.sorted), func(i int) bool { return t.sorted[i] > q.Hi })
+	return int64(hi - lo)
+}
+
+// Len returns the total number of indexed values (the true cardinality of the
+// generating query's result).
+func (t *Truth) Len() int { return len(t.sorted) }
+
+// Min returns the smallest value; ok=false when empty.
+func (t *Truth) Min() (int64, bool) {
+	if len(t.sorted) == 0 {
+		return 0, false
+	}
+	return t.sorted[0], true
+}
+
+// Max returns the largest value; ok=false when empty.
+func (t *Truth) Max() (int64, bool) {
+	if len(t.sorted) == 0 {
+		return 0, false
+	}
+	return t.sorted[len(t.sorted)-1], true
+}
+
+// Estimator is anything that can estimate range cardinalities — a SIT, a
+// propagated histogram, or a full cardinality-estimation module.
+type Estimator interface {
+	EstimateRange(lo, hi int64) float64
+}
+
+// Result aggregates the error metrics of one technique over a query batch.
+type Result struct {
+	Queries int
+	// AvgRelError is the mean relative error (the paper's Figure 7 metric).
+	AvgRelError float64
+	// MedianRelError is the median relative error.
+	MedianRelError float64
+	// MaxRelError is the worst-case relative error.
+	MaxRelError float64
+}
+
+// Evaluate runs every query against the estimator and the ground truth and
+// aggregates relative errors.
+func Evaluate(est Estimator, truth *Truth, queries []RangeQuery) (Result, error) {
+	if len(queries) == 0 {
+		return Result{}, fmt.Errorf("workload: no queries to evaluate")
+	}
+	errs := make([]float64, len(queries))
+	var sum, maxE float64
+	for i, q := range queries {
+		actual := float64(truth.Count(q))
+		estimated := est.EstimateRange(q.Lo, q.Hi)
+		e := RelativeError(actual, estimated)
+		errs[i] = e
+		sum += e
+		if e > maxE {
+			maxE = e
+		}
+	}
+	sort.Float64s(errs)
+	med := errs[len(errs)/2]
+	if len(errs)%2 == 0 {
+		med = (errs[len(errs)/2-1] + errs[len(errs)/2]) / 2
+	}
+	return Result{
+		Queries:        len(queries),
+		AvgRelError:    sum / float64(len(queries)),
+		MedianRelError: med,
+		MaxRelError:    maxE,
+	}, nil
+}

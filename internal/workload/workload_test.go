@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomRangeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs, err := RandomRangeQueries(rng, 10, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 500 {
+		t.Fatalf("count = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.Lo < 10 || q.Hi > 100 || q.Lo > q.Hi {
+			t.Fatalf("bad query %+v", q)
+		}
+	}
+	if _, err := RandomRangeQueries(rng, 5, 4, 10); err == nil {
+		t.Error("empty domain: want error")
+	}
+	if _, err := RandomRangeQueries(rng, 0, 10, 0); err == nil {
+		t.Error("zero queries: want error")
+	}
+	// Degenerate single-point domain works.
+	qs, err = RandomRangeQueries(rng, 7, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Lo != 7 || q.Hi != 7 {
+			t.Errorf("degenerate query %+v", q)
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct{ act, est, want float64 }{
+		{100, 100, 0},
+		{100, 150, 0.5},
+		{100, 50, 0.5},
+		{0, 5, 5},     // clamped denominator
+		{0.5, 2, 1.5}, // |0.5-2|/max(0.5,1)
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.act, c.est); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RelativeError(%v,%v) = %v, want %v", c.act, c.est, got, c.want)
+		}
+	}
+}
+
+func TestTruth(t *testing.T) {
+	tr := NewTruth([]int64{5, 1, 3, 3, 9})
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if lo, ok := tr.Min(); !ok || lo != 1 {
+		t.Errorf("Min = %d,%v", lo, ok)
+	}
+	if hi, ok := tr.Max(); !ok || hi != 9 {
+		t.Errorf("Max = %d,%v", hi, ok)
+	}
+	cases := []struct {
+		q    RangeQuery
+		want int64
+	}{
+		{RangeQuery{1, 9}, 5},
+		{RangeQuery{3, 3}, 2},
+		{RangeQuery{4, 8}, 1},
+		{RangeQuery{10, 20}, 0},
+		{RangeQuery{-5, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := tr.Count(c.q); got != c.want {
+			t.Errorf("Count(%+v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	empty := NewTruth(nil)
+	if _, ok := empty.Min(); ok {
+		t.Error("empty Min: want ok=false")
+	}
+	if _, ok := empty.Max(); ok {
+		t.Error("empty Max: want ok=false")
+	}
+}
+
+// Property: Truth.Count matches a linear scan for arbitrary data and ranges.
+func TestTruthQuick(t *testing.T) {
+	f := func(vals []int16, lo, hi int16) bool {
+		v64 := make([]int64, len(vals))
+		for i, v := range vals {
+			v64[i] = int64(v)
+		}
+		tr := NewTruth(v64)
+		l, h := int64(lo), int64(hi)
+		if l > h {
+			l, h = h, l
+		}
+		var want int64
+		for _, v := range v64 {
+			if v >= l && v <= h {
+				want++
+			}
+		}
+		return tr.Count(RangeQuery{l, h}) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+type constEstimator float64
+
+func (c constEstimator) EstimateRange(lo, hi int64) float64 { return float64(c) }
+
+type perfectEstimator struct{ tr *Truth }
+
+func (p perfectEstimator) EstimateRange(lo, hi int64) float64 {
+	return float64(p.tr.Count(RangeQuery{lo, hi}))
+}
+
+func TestEvaluate(t *testing.T) {
+	tr := NewTruth([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	rng := rand.New(rand.NewSource(2))
+	qs, err := RandomRangeQueries(rng, 1, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, err := Evaluate(perfectEstimator{tr}, tr, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.AvgRelError != 0 || perfect.MaxRelError != 0 || perfect.MedianRelError != 0 {
+		t.Errorf("perfect estimator errors = %+v", perfect)
+	}
+	if perfect.Queries != 100 {
+		t.Errorf("Queries = %d", perfect.Queries)
+	}
+	bad, err := Evaluate(constEstimator(1000), tr, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.AvgRelError <= perfect.AvgRelError {
+		t.Error("bad estimator should have larger error")
+	}
+	if bad.MaxRelError < bad.MedianRelError {
+		t.Error("max < median")
+	}
+	if _, err := Evaluate(constEstimator(0), tr, nil); err == nil {
+		t.Error("no queries: want error")
+	}
+}

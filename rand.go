@@ -1,0 +1,6 @@
+package sits
+
+import "math/rand"
+
+// newRand returns a deterministic rand.Rand for the facade's seeded helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
