@@ -34,17 +34,18 @@ func main() {
 		memory    = flag.Float64("memory", 50000, "memory budget M (paper: 50000)")
 		hybridMS  = flag.Int("hybrid-ms", 1000, "Hybrid's A* budget in milliseconds (paper: 1000)")
 		optCap    = flag.Int("opt-cap", 2000000, "abort Opt after this many A* expansions (0 = unlimited); capped instances count as failures")
+		parallel  = flag.Int("parallel", 0, "worker count for experiment cells and shared scans (0 = all CPUs, 1 = serial/reproducible)")
 		seed      = flag.Int64("seed", 11, "random seed")
 	)
 	flag.Parse()
-	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *seed); err != nil {
+	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitbench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, tables int,
-	memory float64, hybridMS, optCap int, seed int64) error {
+	memory float64, hybridMS, optCap, parallel int, seed int64) error {
 
 	schedCfg := experiments.DefaultSchedConfig()
 	schedCfg.Instances = instances
@@ -54,6 +55,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 	schedCfg.Memory = memory
 	schedCfg.HybridBudget = time.Duration(hybridMS) * time.Millisecond
 	schedCfg.OptExpansionCap = optCap
+	schedCfg.Parallelism = parallel
 	schedCfg.Seed = seed
 
 	all := exp == "all"
@@ -63,6 +65,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg := experiments.DefaultFig7Config()
 		cfg.Queries = queries
 		cfg.Seed = seed
+		cfg.Parallelism = parallel
 		if buckets != "" {
 			var err error
 			cfg.Buckets, err = parseInts(buckets)
@@ -88,6 +91,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg := experiments.UniformConfig()
 		cfg.Queries = queries
 		cfg.Seed = seed
+		cfg.Parallelism = parallel
 		fmt.Println("== Section 5.1 (prose): uniform, independent join attributes ==")
 		res, err := experiments.RunFigure7(cfg)
 		if err != nil {
@@ -147,6 +151,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg := experiments.DefaultAblationConfig()
 		cfg.Queries = queries
 		cfg.Seed = seed
+		cfg.Parallelism = parallel
 		cells, err := experiments.RunHistogramAblation(cfg)
 		if err != nil {
 			return err
@@ -162,6 +167,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg := experiments.DefaultAcyclicConfig()
 		cfg.Queries = queries
 		cfg.Seed = seed
+		cfg.Parallelism = parallel
 		cells, err := experiments.RunAcyclic(cfg)
 		if err != nil {
 			return err

@@ -26,23 +26,24 @@ import (
 
 func main() {
 	var (
-		sitSpec = flag.String("sit", "", "SIT spec, e.g. \"S.a | R JOIN S ON R.x = S.y\" (required)")
-		method  = flag.String("method", "sweep", "histsit | sweep | sweepindex | sweepfull | sweepexact | materialize")
-		buckets = flag.Int("buckets", 100, "histogram buckets")
-		rate    = flag.Float64("rate", 0.10, "sampling rate for sweep/sweepindex")
-		csvDir  = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
-		verify  = flag.Bool("verify", false, "execute the generating query and score the SIT's accuracy")
-		queries = flag.Int("queries", 1000, "range queries used by -verify")
-		seed    = flag.Int64("seed", 1, "random seed")
+		sitSpec  = flag.String("sit", "", "SIT spec, e.g. \"S.a | R JOIN S ON R.x = S.y\" (required)")
+		method   = flag.String("method", "sweep", "histsit | sweep | sweepindex | sweepfull | sweepexact | materialize")
+		buckets  = flag.Int("buckets", 100, "histogram buckets")
+		rate     = flag.Float64("rate", 0.10, "sampling rate for sweep/sweepindex")
+		csvDir   = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
+		verify   = flag.Bool("verify", false, "execute the generating query and score the SIT's accuracy")
+		queries  = flag.Int("queries", 1000, "range queries used by -verify")
+		parallel = flag.Int("parallel", 0, "shared-scan worker count (0 = all CPUs, 1 = serial/reproducible)")
+		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *seed); err != nil {
+	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitcreate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries int, seed int64) error {
+func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries, parallel int, seed int64) error {
 	if sitSpec == "" {
 		return fmt.Errorf("missing -sit (e.g. -sit \"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev\")")
 	}
@@ -62,6 +63,7 @@ func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, v
 	cfg.Buckets = buckets
 	cfg.SampleRate = rate
 	cfg.Seed = seed
+	cfg.Parallelism = parallel
 	b, err := sits.NewBuilder(cat, cfg)
 	if err != nil {
 		return err

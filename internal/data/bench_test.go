@@ -33,6 +33,29 @@ func BenchmarkScan(b *testing.B) {
 	b.SetBytes(int64(t.NumRows() * 16))
 }
 
+// BenchmarkScanChunks measures the same traversal through the chunked scan
+// API the parallel engine uses: columns are read directly from chunk
+// sub-slices instead of being copied into a per-row buffer.
+func BenchmarkScanChunks(b *testing.B) {
+	t := benchTable(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunks, err := t.ScanChunks(4096, "x", "a")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum int64
+		for _, ch := range chunks {
+			xs := ch.Cols[0]
+			for r := range xs {
+				sum += xs[r]
+			}
+		}
+		_ = sum
+	}
+	b.SetBytes(int64(t.NumRows() * 16))
+}
+
 func BenchmarkAppendRow(b *testing.B) {
 	t := MustNewTable("B", "x", "y")
 	b.ResetTimer()

@@ -195,6 +195,62 @@ func (t *Table) Scan(columns ...string) (*Scanner, error) {
 	return s, nil
 }
 
+// Chunk is one contiguous row range of a table, exposed as column sub-slices.
+// Cols[i] holds the values of the i-th requested column for the chunk's rows;
+// all sub-slices have equal length and share the table's backing storage, so
+// they must not be modified. Chunks let scan consumers read columns directly
+// (no per-row copy) and are the unit of work of parallel shared scans.
+type Chunk struct {
+	// Start is the table row index of the chunk's first row.
+	Start int
+	// Cols holds one sub-slice per requested column, in request order.
+	Cols [][]int64
+}
+
+// Len returns the number of rows in the chunk.
+func (c Chunk) Len() int {
+	if len(c.Cols) == 0 {
+		return 0
+	}
+	return len(c.Cols[0])
+}
+
+// ScanChunks splits the table's rows into contiguous chunks of at most
+// chunkSize rows over the named columns. Chunk boundaries depend only on the
+// table size and chunkSize — not on who consumes the chunks — so chunked
+// results that merge per-chunk partials in chunk order are independent of the
+// consumer's parallelism. An empty table yields no chunks.
+func (t *Table) ScanChunks(chunkSize int, columns ...string) ([]Chunk, error) {
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("data: table %q: chunk size %d must be positive", t.name, chunkSize)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("data: table %q: scan needs at least one column", t.name)
+	}
+	cols := make([][]int64, len(columns))
+	for i, c := range columns {
+		vals, err := t.Column(c)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = vals
+	}
+	n := t.NumRows()
+	chunks := make([]Chunk, 0, (n+chunkSize-1)/chunkSize)
+	for start := 0; start < n; start += chunkSize {
+		end := start + chunkSize
+		if end > n {
+			end = n
+		}
+		sub := make([][]int64, len(cols))
+		for i := range cols {
+			sub[i] = cols[i][start:end]
+		}
+		chunks = append(chunks, Chunk{Start: start, Cols: sub})
+	}
+	return chunks, nil
+}
+
 // Next advances the scanner and reports whether a row is available.
 func (s *Scanner) Next() bool {
 	if s.pos >= s.n {

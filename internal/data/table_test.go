@@ -235,6 +235,111 @@ func TestCSVErrors(t *testing.T) {
 	}
 }
 
+func TestScanChunks(t *testing.T) {
+	tab := MustNewTable("C", "x", "a")
+	const rows = 10
+	for i := int64(0); i < rows; i++ {
+		if err := tab.AppendRow(i, i*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunks, err := tab.ScanChunks(4, "a", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(chunks))
+	}
+	wantStarts := []int{0, 4, 8}
+	wantLens := []int{4, 4, 2}
+	row := int64(0)
+	for ci, ch := range chunks {
+		if ch.Start != wantStarts[ci] || ch.Len() != wantLens[ci] {
+			t.Errorf("chunk %d: start=%d len=%d, want start=%d len=%d",
+				ci, ch.Start, ch.Len(), wantStarts[ci], wantLens[ci])
+		}
+		if len(ch.Cols) != 2 {
+			t.Fatalf("chunk %d: %d columns, want 2", ci, len(ch.Cols))
+		}
+		for r := 0; r < ch.Len(); r++ {
+			if ch.Cols[0][r] != row*100 || ch.Cols[1][r] != row {
+				t.Errorf("chunk %d row %d = (%d,%d), want (%d,%d)",
+					ci, r, ch.Cols[0][r], ch.Cols[1][r], row*100, row)
+			}
+			row++
+		}
+	}
+	if row != rows {
+		t.Errorf("chunks covered %d rows, want %d", row, rows)
+	}
+
+	// A chunk size at least the table size yields a single chunk.
+	one, err := tab.ScanChunks(rows, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Len() != rows {
+		t.Errorf("single chunk: got %d chunks", len(one))
+	}
+
+	if _, err := tab.ScanChunks(0, "x"); err == nil {
+		t.Error("chunk size 0: want error")
+	}
+	if _, err := tab.ScanChunks(4); err == nil {
+		t.Error("no columns: want error")
+	}
+	if _, err := tab.ScanChunks(4, "missing"); err == nil {
+		t.Error("missing column: want error")
+	}
+	empty := MustNewTable("E", "x")
+	chunks, err = empty.ScanChunks(4, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 0 {
+		t.Errorf("empty table: %d chunks, want 0", len(chunks))
+	}
+}
+
+// Property: chunk boundaries depend only on the table size and chunk size,
+// chunks are contiguous, and concatenating them reproduces every column.
+func TestScanChunksCoverQuick(t *testing.T) {
+	f := func(vals []int64, sizeSeed uint8) bool {
+		tab := MustNewTable("Q", "v")
+		for _, v := range vals {
+			if err := tab.AppendRow(v); err != nil {
+				return false
+			}
+		}
+		size := int(sizeSeed%7) + 1
+		chunks, err := tab.ScanChunks(size, "v")
+		if err != nil {
+			return false
+		}
+		var got []int64
+		next := 0
+		for _, ch := range chunks {
+			if ch.Start != next || ch.Len() == 0 || ch.Len() > size {
+				return false
+			}
+			got = append(got, ch.Cols[0]...)
+			next += ch.Len()
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: scanning any generated table returns exactly the appended rows in
 // order, for arbitrary column selections.
 func TestScannerMatchesRowsQuick(t *testing.T) {

@@ -25,6 +25,9 @@ type AblationConfig struct {
 	Method      sit.Method
 	HistMethods []histogram.Method
 	Seed        int64
+	// Parallelism bounds the worker pool over the construction algorithms and
+	// the builders' shared scans (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultAblationConfig returns a 3-way-chain ablation of SweepFull across
@@ -81,27 +84,35 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []AblationCell
-	for _, hm := range cfg.HistMethods {
+	// Each construction algorithm gets a private builder, so the cells are
+	// independent and run on the worker pool; results land at their index.
+	out := make([]AblationCell, len(cfg.HistMethods))
+	err = parallelFor(len(cfg.HistMethods), workerCount(cfg.Parallelism, len(cfg.HistMethods)), func(i int) error {
+		hm := cfg.HistMethods[i]
 		bcfg := sit.DefaultConfig()
 		bcfg.Buckets = cfg.Buckets
 		bcfg.HistMethod = hm
 		bcfg.Seed = cfg.Seed
+		bcfg.Parallelism = cfg.Parallelism
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
 		s, err := builder.Build(spec, cfg.Method)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %v with %v: %w", cfg.Method, hm, err)
+			return fmt.Errorf("experiments: %v with %v: %w", cfg.Method, hm, err)
 		}
 		elapsed := time.Since(start)
 		acc, err := workload.Evaluate(s, truth, queries)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, AblationCell{HistMethod: hm, Accuracy: acc, BuildTime: elapsed})
+		out[i] = AblationCell{HistMethod: hm, Accuracy: acc, BuildTime: elapsed}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -24,6 +24,9 @@ type AcyclicConfig struct {
 	Queries int
 	Methods []sit.Method
 	Seed    int64
+	// Parallelism bounds the worker pool over the creation techniques and the
+	// builders' shared scans (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultAcyclicConfig returns the default snowflake experiment.
@@ -87,29 +90,37 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []AcyclicCell
-	for _, m := range cfg.Methods {
+	// Each technique gets a private builder, so the cells are independent and
+	// run on the worker pool; results land at their index.
+	out := make([]AcyclicCell, len(cfg.Methods))
+	err = parallelFor(len(cfg.Methods), workerCount(cfg.Parallelism, len(cfg.Methods)), func(i int) error {
+		m := cfg.Methods[i]
 		bcfg := sit.DefaultConfig()
 		bcfg.Buckets = cfg.Buckets
 		bcfg.Seed = cfg.Seed
+		bcfg.Parallelism = cfg.Parallelism
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
 		s, err := builder.Build(spec, m)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: acyclic %v: %w", m, err)
+			return fmt.Errorf("experiments: acyclic %v: %w", m, err)
 		}
 		elapsed := time.Since(start)
 		acc, err := workload.Evaluate(s, truth, queries)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, AcyclicCell{
+		out[i] = AcyclicCell{
 			Method: m, Accuracy: acc, BuildTime: elapsed,
 			EstimatedCard: s.EstimatedCard, TrueCard: float64(truth.Len()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

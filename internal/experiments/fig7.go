@@ -37,6 +37,11 @@ type Fig7Config struct {
 	Methods []sit.Method
 	// Seed drives query generation and sampling.
 	Seed int64
+	// Parallelism bounds the harness's worker pool and the builders' shared
+	// scans (0 = GOMAXPROCS, 1 = serial; serial runs reproduce the original
+	// single-threaded results exactly). Cells are always assembled in
+	// deterministic (way, buckets, method) order regardless of the setting.
+	Parallelism int
 }
 
 // DefaultFig7Config returns the paper's setting, scaled to run in seconds.
@@ -97,32 +102,48 @@ func chainSpec(w int) (query.SITSpec, error) {
 	return query.NewSITSpec(tables[w-1], "a", e)
 }
 
-// RunFigure7 executes the accuracy sweep.
+// fig7WayData is the per-join-width ground truth shared by that width's
+// cells: the SIT spec, the materialized result distribution, and the filtered
+// random range queries.
+type fig7WayData struct {
+	spec    query.SITSpec
+	truth   *workload.Truth
+	queries []workload.RangeQuery
+}
+
+// RunFigure7 executes the accuracy sweep. The per-width ground truths and the
+// per-(width, buckets) cell groups run on a worker pool sized by
+// cfg.Parallelism; each group gets a private builder, so no builder cache is
+// shared across workers and the results are identical to a serial run of the
+// same configuration.
 func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 	if cfg.Queries <= 0 {
 		return nil, fmt.Errorf("experiments: query count must be positive")
+	}
+	for _, w := range cfg.JoinWays {
+		if w > cfg.Chain.Tables {
+			return nil, fmt.Errorf("experiments: %d-way join exceeds the %d-table database", w, cfg.Chain.Tables)
+		}
 	}
 	cat, err := datagen.ChainDB(cfg.Chain)
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig7Result{Config: cfg}
-	for _, w := range cfg.JoinWays {
-		if w > cfg.Chain.Tables {
-			return nil, fmt.Errorf("experiments: %d-way join exceeds the %d-table database", w, cfg.Chain.Tables)
-		}
+	ways := make([]fig7WayData, len(cfg.JoinWays))
+	err = parallelFor(len(cfg.JoinWays), workerCount(cfg.Parallelism, len(cfg.JoinWays)), func(wi int) error {
+		w := cfg.JoinWays[wi]
 		spec, err := chainSpec(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truthVals, err := exec.AttrValues(cat, spec.Expr, spec.Table, spec.Attr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truth := workload.NewTruth(truthVals)
 		lo, ok := truth.Min()
 		if !ok {
-			return nil, fmt.Errorf("experiments: %d-way join result is empty", w)
+			return fmt.Errorf("experiments: %d-way join result is empty", w)
 		}
 		hi, _ := truth.Max()
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
@@ -136,43 +157,65 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		}
 		queries, err := workload.FilteredRangeQueries(rng, lo, hi, cfg.Queries, minCount, truth)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, nb := range cfg.Buckets {
-			bcfg := sit.DefaultConfig()
-			bcfg.Buckets = nb
-			bcfg.SampleRate = cfg.SampleRate
-			// The tables are scaled ~10x below the paper's 10k-100k rows (see
-			// DESIGN.md); flooring the reservoir keeps the absolute sample
-			// sizes in the paper's regime so sampling noise is comparable.
-			bcfg.MinSample = 500
-			bcfg.Seed = cfg.Seed
-			builder, err := sit.NewBuilder(cat, bcfg)
+		ways[wi] = fig7WayData{spec: spec, truth: truth, queries: queries}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One task per (way, buckets) pair; the methods inside a pair share one
+	// builder (and its caches) and therefore run serially within the task.
+	nb := len(cfg.Buckets)
+	groups := make([][]Fig7Cell, len(cfg.JoinWays)*nb)
+	err = parallelFor(len(groups), workerCount(cfg.Parallelism, len(groups)), func(gi int) error {
+		wd := ways[gi/nb]
+		buckets := cfg.Buckets[gi%nb]
+		bcfg := sit.DefaultConfig()
+		bcfg.Buckets = buckets
+		bcfg.SampleRate = cfg.SampleRate
+		// The tables are scaled ~10x below the paper's 10k-100k rows (see
+		// DESIGN.md); flooring the reservoir keeps the absolute sample
+		// sizes in the paper's regime so sampling noise is comparable.
+		bcfg.MinSample = 500
+		bcfg.Seed = cfg.Seed
+		bcfg.Parallelism = cfg.Parallelism
+		builder, err := sit.NewBuilder(cat, bcfg)
+		if err != nil {
+			return err
+		}
+		cells := make([]Fig7Cell, 0, len(cfg.Methods))
+		for _, m := range cfg.Methods {
+			start := time.Now()
+			s, err := builder.Build(wd.spec, m)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("experiments: building %s with %v: %w", wd.spec.String(), m, err)
 			}
-			for _, m := range cfg.Methods {
-				start := time.Now()
-				s, err := builder.Build(spec, m)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: building %s with %v: %w", spec.String(), m, err)
-				}
-				elapsed := time.Since(start)
-				acc, err := workload.Evaluate(s, truth, queries)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, Fig7Cell{
-					Way:           w,
-					Buckets:       nb,
-					Method:        m,
-					Accuracy:      acc,
-					BuildTime:     elapsed,
-					EstimatedCard: s.EstimatedCard,
-					TrueCard:      float64(truth.Len()),
-				})
+			elapsed := time.Since(start)
+			acc, err := workload.Evaluate(s, wd.truth, wd.queries)
+			if err != nil {
+				return err
 			}
+			cells = append(cells, Fig7Cell{
+				Way:           cfg.JoinWays[gi/nb],
+				Buckets:       buckets,
+				Method:        m,
+				Accuracy:      acc,
+				BuildTime:     elapsed,
+				EstimatedCard: s.EstimatedCard,
+				TrueCard:      float64(wd.truth.Len()),
+			})
 		}
+		groups[gi] = cells
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Config: cfg}
+	for _, cells := range groups {
+		res.Cells = append(res.Cells, cells...)
 	}
 	return res, nil
 }

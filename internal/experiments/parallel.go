@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount maps a Parallelism knob (0 = GOMAXPROCS, 1 = serial, n = at
+// most n workers) to an actual worker count for n tasks.
+func workerCount(parallelism, n int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
+// and returns the first error encountered. Tasks must be independent and
+// write their results to distinct locations (typically index i of a
+// pre-sized slice, which keeps the assembled output order deterministic
+// regardless of scheduling). With workers <= 1 it degrades to a plain loop.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

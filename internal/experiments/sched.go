@@ -28,7 +28,13 @@ type SchedConfig struct {
 	HybridBudget time.Duration
 	// OptExpansionCap aborts pathological Opt searches (0 = unlimited).
 	OptExpansionCap int
-	Seed            int64
+	// Parallelism bounds the worker pool solving the random instances of a
+	// sweep point (0 = GOMAXPROCS, 1 = serial). Instances are always drawn
+	// serially from one seeded stream and aggregated in instance order, so
+	// the estimated costs are identical at every parallelism level; only the
+	// measured optimization times become noisier under contention.
+	Parallelism int
+	Seed        int64
 }
 
 // DefaultSchedConfig returns the paper's defaults with a reduced instance
@@ -151,35 +157,61 @@ func SchedSweep(base SchedConfig, xs []float64, vary func(*SchedConfig, float64)
 	for _, x := range xs {
 		cfg := base
 		vary(&cfg, x)
-		point := SweepPoint{X: x, Techniques: map[TechName]TechPoint{}}
-		sums := map[TechName]*TechPoint{}
-		for _, tn := range techs {
-			sums[tn] = &TechPoint{}
+		// Draw every instance up front from the single seeded stream (the
+		// exact sequence a serial run sees), then solve the instances on the
+		// worker pool and reduce in instance order.
+		type instance struct {
+			tasks []sched.Task
+			env   sched.Env
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed))
-		for inst := 0; inst < cfg.Instances; inst++ {
+		insts := make([]instance, cfg.Instances)
+		for i := range insts {
 			tasks, env, err := RandomInstance(rng, cfg)
 			if err != nil {
 				return nil, err
 			}
+			insts[i] = instance{tasks: tasks, env: env}
+		}
+		type techOutcome struct {
+			cost    float64
+			elapsed time.Duration
+			failed  bool
+		}
+		results := make([]map[TechName]techOutcome, cfg.Instances)
+		err := parallelFor(cfg.Instances, workerCount(cfg.Parallelism, cfg.Instances), func(i int) error {
+			r := make(map[TechName]techOutcome, len(techs))
 			for _, tn := range techs {
-				cost, elapsed, err := runTechnique(tn, tasks, env, cfg)
+				cost, elapsed, err := runTechnique(tn, insts[i].tasks, insts[i].env, cfg)
 				if err != nil {
-					sums[tn].Failures++
+					r[tn] = techOutcome{failed: true}
 					continue
 				}
-				sums[tn].AvgCost += cost
-				sums[tn].AvgOptTime += elapsed
+				r[tn] = techOutcome{cost: cost, elapsed: elapsed}
 			}
+			results[i] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		point := SweepPoint{X: x, Techniques: map[TechName]TechPoint{}}
 		for _, tn := range techs {
-			s := sums[tn]
-			n := cfg.Instances - s.Failures
-			if n > 0 {
+			s := TechPoint{}
+			for _, r := range results {
+				o := r[tn]
+				if o.failed {
+					s.Failures++
+					continue
+				}
+				s.AvgCost += o.cost
+				s.AvgOptTime += o.elapsed
+			}
+			if n := cfg.Instances - s.Failures; n > 0 {
 				s.AvgCost /= float64(n)
 				s.AvgOptTime /= time.Duration(n)
 			}
-			point.Techniques[tn] = *s
+			point.Techniques[tn] = s
 		}
 		out = append(out, point)
 	}

@@ -87,6 +87,58 @@ func (r *Reservoir) AddWeighted(v int64, w float64) {
 	r.AddN(v, n)
 }
 
+// Merge folds another reservoir into r. The two reservoirs must have equal
+// capacity and must have sampled disjoint partitions of one logical stream;
+// the result is then distributed as a uniform k-sample of the concatenated
+// stream (the standard distributed-reservoir merge: each output slot draws
+// from r's or o's sample with probability proportional to the unconsumed
+// portion of that partition). All randomness comes from r's generator, so the
+// merge is deterministic given r's seed and the two samples. o is left
+// unchanged.
+func (r *Reservoir) Merge(o *Reservoir) error {
+	if o == nil {
+		return fmt.Errorf("sample: cannot merge nil reservoir")
+	}
+	if o.k != r.k {
+		return fmt.Errorf("sample: cannot merge reservoirs of capacity %d and %d", r.k, o.k)
+	}
+	if o.seen == 0 {
+		return nil
+	}
+	if r.seen == 0 {
+		r.items = append(r.items[:0], o.items...)
+		r.seen = o.seen
+		return nil
+	}
+	a := append([]int64(nil), r.items...)
+	b := append([]int64(nil), o.items...)
+	remainA, remainB := r.seen, o.seen
+	merged := make([]int64, 0, r.k)
+	take := func(s []int64) (int64, []int64) {
+		i := r.rng.Intn(len(s))
+		v := s[i]
+		s[i] = s[len(s)-1]
+		return v, s[:len(s)-1]
+	}
+	for len(merged) < r.k && (len(a) > 0 || len(b) > 0) {
+		var v int64
+		// remainA/remainB hit zero exactly when the corresponding sample is
+		// exhausted (a sample holds min(seen, k) items and at most k are ever
+		// drawn), so the chosen side always has an item left.
+		if r.rng.Int63n(remainA+remainB) < remainA {
+			v, a = take(a)
+			remainA--
+		} else {
+			v, b = take(b)
+			remainB--
+		}
+		merged = append(merged, v)
+	}
+	r.items = merged
+	r.seen += o.seen
+	return nil
+}
+
 // Sample returns the current sample. The returned slice is the reservoir's
 // backing storage and must not be modified.
 func (r *Reservoir) Sample() []int64 { return r.items }
@@ -154,6 +206,34 @@ func (w *WeightedReservoir) Add(v int64, weight float64) {
 		w.h[0] = weightedItem{value: v, key: key}
 		heap.Fix(&w.h, 0)
 	}
+}
+
+// Merge folds another weighted reservoir into w. A-Res keys are exchangeable
+// across independently seeded reservoirs (each item's key is u^(1/weight)
+// regardless of which generator drew u), so merging is exact: keep the k
+// largest keys of the union. The two reservoirs must have equal capacity and
+// must have consumed disjoint partitions of one logical stream. o is left
+// unchanged.
+func (w *WeightedReservoir) Merge(o *WeightedReservoir) error {
+	if o == nil {
+		return fmt.Errorf("sample: cannot merge nil weighted reservoir")
+	}
+	if o.k != w.k {
+		return fmt.Errorf("sample: cannot merge weighted reservoirs of capacity %d and %d", w.k, o.k)
+	}
+	for _, it := range o.h {
+		if len(w.h) < w.k {
+			heap.Push(&w.h, it)
+			continue
+		}
+		if it.key > w.h[0].key {
+			w.h[0] = it
+			heap.Fix(&w.h, 0)
+		}
+	}
+	w.seen += o.seen
+	w.mass += o.mass
+	return nil
 }
 
 // Sample returns the sampled values in unspecified order.

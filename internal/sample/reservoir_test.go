@@ -190,6 +190,199 @@ func TestWeightedReservoirBookkeeping(t *testing.T) {
 	}
 }
 
+func TestReservoirMergeErrors(t *testing.T) {
+	r, err := NewReservoir(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Merge(nil); err == nil {
+		t.Error("merge nil: want error")
+	}
+	o, err := NewReservoir(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Merge(o); err == nil {
+		t.Error("capacity mismatch: want error")
+	}
+}
+
+func TestReservoirMergeBookkeeping(t *testing.T) {
+	r, _ := NewReservoir(10, 1)
+	o, _ := NewReservoir(10, 2)
+
+	// Merging an empty shard is a no-op.
+	for i := int64(0); i < 3; i++ {
+		r.Add(i)
+	}
+	if err := r.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seen() != 3 || len(r.Sample()) != 3 {
+		t.Fatalf("after empty merge: seen=%d len=%d", r.Seen(), len(r.Sample()))
+	}
+
+	// Merging into an empty reservoir adopts the shard's sample.
+	for i := int64(10); i < 14; i++ {
+		o.Add(i)
+	}
+	empty, _ := NewReservoir(10, 3)
+	if err := empty.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Seen() != 4 || len(empty.Sample()) != 4 {
+		t.Fatalf("merge into empty: seen=%d len=%d", empty.Seen(), len(empty.Sample()))
+	}
+
+	// Two under-full partitions merge into their exact union.
+	if err := r.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seen() != 7 || len(r.Sample()) != 7 {
+		t.Fatalf("under-full merge: seen=%d len=%d", r.Seen(), len(r.Sample()))
+	}
+	got := map[int64]bool{}
+	for _, v := range r.Sample() {
+		got[v] = true
+	}
+	for _, v := range []int64{0, 1, 2, 10, 11, 12, 13} {
+		if !got[v] {
+			t.Errorf("under-full merge lost value %d", v)
+		}
+	}
+	// o is untouched.
+	if o.Seen() != 4 || len(o.Sample()) != 4 {
+		t.Errorf("merge mutated source: seen=%d len=%d", o.Seen(), len(o.Sample()))
+	}
+
+	// Over-full merge caps at capacity and sums seen.
+	a, _ := NewReservoir(10, 4)
+	b, _ := NewReservoir(10, 5)
+	for i := int64(0); i < 100; i++ {
+		a.Add(i)
+		b.Add(100 + i)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Seen() != 200 || len(a.Sample()) != 10 {
+		t.Fatalf("full merge: seen=%d len=%d", a.Seen(), len(a.Sample()))
+	}
+}
+
+// TestReservoirMergeUnbiased: splitting a stream across two shard reservoirs
+// and merging must leave every stream position with inclusion probability
+// k/n, exactly as if one reservoir had sampled the whole stream. This is the
+// distributional guarantee parallel Sweep relies on.
+func TestReservoirMergeUnbiased(t *testing.T) {
+	const (
+		k      = 5
+		n      = 50
+		split  = 20 // shard A samples [0,split), shard B samples [split,n)
+		trials = 20000
+	)
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		a, err := NewReservoir(k, int64(3*trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewReservoir(k, int64(3*trial+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < split; i++ {
+			a.Add(i)
+		}
+		for i := int64(split); i < n; i++ {
+			b.Add(i)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if a.Seen() != n || len(a.Sample()) != k {
+			t.Fatalf("merged: seen=%d len=%d", a.Seen(), len(a.Sample()))
+		}
+		for _, v := range a.Sample() {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Errorf("position %d sampled %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestWeightedReservoirMergeErrors(t *testing.T) {
+	w, _ := NewWeightedReservoir(3, 1)
+	if err := w.Merge(nil); err == nil {
+		t.Error("merge nil: want error")
+	}
+	o, _ := NewWeightedReservoir(4, 2)
+	if err := w.Merge(o); err == nil {
+		t.Error("capacity mismatch: want error")
+	}
+}
+
+func TestWeightedReservoirMergeBookkeeping(t *testing.T) {
+	w, _ := NewWeightedReservoir(3, 1)
+	o, _ := NewWeightedReservoir(3, 2)
+	w.Add(1, 2)
+	w.Add(2, 3)
+	o.Add(3, 1.5)
+	o.Add(4, 0.5)
+	o.Add(5, 1)
+	o.Add(6, 1)
+	if err := w.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if w.Seen() != 6 {
+		t.Errorf("seen = %d, want 6", w.Seen())
+	}
+	if math.Abs(w.Mass()-9) > 1e-9 {
+		t.Errorf("mass = %v, want 9", w.Mass())
+	}
+	if len(w.Sample()) != 3 {
+		t.Errorf("sample len = %d, want 3", len(w.Sample()))
+	}
+	// o is untouched.
+	if o.Seen() != 4 || math.Abs(o.Mass()-4) > 1e-9 {
+		t.Errorf("merge mutated source: seen=%d mass=%v", o.Seen(), o.Mass())
+	}
+}
+
+// TestWeightedReservoirMergeBias: the weighted-sampling bias must survive a
+// merge — a heavy item offered to one shard should win a merged k=1 sample
+// over a light item offered to the other shard ~weight proportionally.
+func TestWeightedReservoirMergeBias(t *testing.T) {
+	heavy := 0
+	const trials = 5000
+	for trial := 0; trial < trials; trial++ {
+		a, err := NewWeightedReservoir(1, int64(2*trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewWeightedReservoir(1, int64(2*trial+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Add(1, 9)
+		b.Add(2, 1)
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if a.Sample()[0] == 1 {
+			heavy++
+		}
+	}
+	got := float64(heavy) / trials
+	if got < 0.85 || got > 0.95 {
+		t.Errorf("heavy value sampled %.3f, want ~0.9", got)
+	}
+}
+
 func TestEstimateDistinct(t *testing.T) {
 	if got := EstimateDistinct(nil, 100); got != 0 {
 		t.Errorf("empty sample = %v", got)

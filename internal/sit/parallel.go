@@ -1,0 +1,264 @@
+package sit
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/sitstats/sits/internal/data"
+)
+
+// This file is the chunked, parallel execution engine behind the Sweep
+// family. The paper's cost argument (Section 4) is that one sequential scan
+// amortizes over many SITs; the engine additionally spreads that scan over
+// the machine: the table is split into fixed-size chunks of column
+// sub-slices (data.Table.ScanChunks), contiguous chunk blocks are assigned to
+// min(parallelism, chunks) workers, every worker streams into private
+// consumer shards, and the shards are merged back in deterministic partition
+// order.
+//
+// Determinism contract:
+//
+//   - Exact consumers (SweepFull, SweepExact) shard per chunk and merge in
+//     chunk index order. Chunk boundaries depend only on the table size, so
+//     the result is bit-identical at every parallelism level, including the
+//     serial one.
+//   - Sampled consumers (Sweep, SweepIndex) shard per worker with seeds
+//     derived from the builder's seed sequence, so results are deterministic
+//     for a fixed parallelism level; a single worker feeds the root consumer
+//     directly and reproduces the original serial implementation bit for bit.
+
+// scanChunkRows is the fixed chunk granularity of shared scans. It is
+// independent of the worker count so that chunk boundaries — and therefore
+// the per-chunk partial aggregations of the exact consumers — are identical
+// at every parallelism level.
+const scanChunkRows = 4096
+
+// resolveParallelism maps the Config.Parallelism knob to a worker count:
+// 0 means one worker per available CPU.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// shardSeed derives the deterministic seed of shard i from a consumer's base
+// seed. The splitmix64-style mixing keeps neighbouring shards' generator
+// streams uncorrelated.
+func shardSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// resolveColumns collects the union of the jobs' required columns and caches
+// each job's target and predicate attribute offsets into that union, so the
+// per-tuple loops index column slices directly instead of consulting a name
+// map per value.
+func resolveColumns(jobs []*scanJob) []string {
+	colIdx := map[string]int{}
+	var cols []string
+	need := func(c string) int {
+		if i, ok := colIdx[c]; ok {
+			return i
+		}
+		colIdx[c] = len(cols)
+		cols = append(cols, c)
+		return len(cols) - 1
+	}
+	for _, j := range jobs {
+		j.targetCol = need(j.targetAttr)
+		for pi := range j.preds {
+			p := &j.preds[pi]
+			p.cols = p.cols[:0]
+			for _, a := range p.attrs {
+				p.cols = append(p.cols, need(a))
+			}
+		}
+	}
+	return cols
+}
+
+// feedChunk streams one chunk into the given per-job consumers (dst[i]
+// absorbs jobs[i]'s stream). Per tuple and job, the multiplicity is the
+// product of the per-predicate oracle answers; the job's target value is
+// streamed with that multiplicity.
+func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer) {
+	n := ch.Len()
+	var vbuf [4]int64
+	for r := 0; r < n; r++ {
+		for ji, j := range jobs {
+			m := 1.0
+			for pi := range j.preds {
+				p := &j.preds[pi]
+				vals := vbuf[:0]
+				for _, c := range p.cols {
+					vals = append(vals, ch.Cols[c][r])
+				}
+				m *= p.o.multiplicity(vals)
+				if m == 0 {
+					break
+				}
+			}
+			if m > 0 {
+				dst[ji].add(ch.Cols[j.targetCol][r], m)
+			}
+		}
+	}
+}
+
+// runSharedScan performs one sequential scan over the table and feeds every
+// job, using up to parallelism workers (0 = GOMAXPROCS; the worker count is
+// additionally capped by the number of chunks, so small tables run serially).
+func runSharedScan(t *data.Table, jobs []*scanJob, parallelism int) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	cols := resolveColumns(jobs)
+	chunks, err := t.ScanChunks(scanChunkRows, cols...)
+	if err != nil {
+		return err
+	}
+	if len(chunks) == 0 {
+		return nil
+	}
+	workers := resolveParallelism(parallelism)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		return scanSerial(chunks, jobs)
+	}
+	return scanParallel(chunks, jobs, workers)
+}
+
+// shardReuser is implemented by shard consumers that can be cleared and fed
+// again, letting the serial scan reuse one scratch shard per job instead of
+// allocating one per chunk.
+type shardReuser interface {
+	resetShard()
+}
+
+// scanSerial feeds every chunk in order from the calling goroutine. Sampled
+// consumers receive the rows directly — exactly the original single-threaded
+// behavior — while exact consumers still aggregate per chunk and merge in
+// chunk order, so the serial result matches the parallel one bit for bit.
+func scanSerial(chunks []data.Chunk, jobs []*scanJob) error {
+	dst := make([]consumer, len(jobs))
+	chunked := false
+	for i, j := range jobs {
+		dst[i] = j.cons
+		if j.cons.perChunk() {
+			chunked = true
+		}
+	}
+	// With a single chunk the chunk-order fold degenerates: merging one
+	// partial into an empty root adds 0 + x per value, which is bit-identical
+	// to accumulating in the root directly, so skip the scratch shards.
+	if !chunked || len(chunks) == 1 {
+		for ci := range chunks {
+			feedChunk(chunks[ci], jobs, dst)
+		}
+		return nil
+	}
+	for ci := range chunks {
+		for i, j := range jobs {
+			if !j.cons.perChunk() {
+				continue
+			}
+			if ci > 0 {
+				if r, ok := dst[i].(shardReuser); ok {
+					r.resetShard()
+					continue
+				}
+			}
+			shard, err := j.cons.fork(ci)
+			if err != nil {
+				return err
+			}
+			dst[i] = shard
+		}
+		feedChunk(chunks[ci], jobs, dst)
+		for i, j := range jobs {
+			if !j.cons.perChunk() {
+				continue
+			}
+			if err := j.cons.merge(dst[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanParallel partitions the chunk sequence into contiguous blocks, one per
+// worker, scans the blocks concurrently into private consumer shards, and
+// merges the shards back in partition order (chunk order for per-chunk
+// consumers, worker order otherwise).
+func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int) error {
+	chunkShards := make([][]consumer, len(jobs))
+	workerShards := make([][]consumer, len(jobs))
+	for ji, j := range jobs {
+		if j.cons.perChunk() {
+			chunkShards[ji] = make([]consumer, len(chunks))
+		} else {
+			workerShards[ji] = make([]consumer, workers)
+		}
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*len(chunks)/workers, (w+1)*len(chunks)/workers
+			dst := make([]consumer, len(jobs))
+			for ji, j := range jobs {
+				if j.cons.perChunk() {
+					continue
+				}
+				shard, err := j.cons.fork(w)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				workerShards[ji][w] = shard
+				dst[ji] = shard
+			}
+			for ci := lo; ci < hi; ci++ {
+				for ji, j := range jobs {
+					if !j.cons.perChunk() {
+						continue
+					}
+					shard, err := j.cons.fork(ci)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					chunkShards[ji][ci] = shard
+					dst[ji] = shard
+				}
+				feedChunk(chunks[ci], jobs, dst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for ji, j := range jobs {
+		shards := workerShards[ji]
+		if j.cons.perChunk() {
+			shards = chunkShards[ji]
+		}
+		for _, s := range shards {
+			if err := j.cons.merge(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

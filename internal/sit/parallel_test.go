@@ -1,0 +1,185 @@
+package sit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/query"
+)
+
+// multiChunkCatalog builds R(x), S(y, a) with S spanning several scan chunks
+// (rows > scanChunkRows), so shared scans genuinely fan out across workers.
+func multiChunkCatalog(t testing.TB, rows int) *data.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	r := data.MustNewTable("R", "x")
+	for i := 0; i < rows/8; i++ {
+		if err := r.AppendRow(rng.Int63n(500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := data.MustNewTable("S", "y", "a")
+	for i := 0; i < rows; i++ {
+		if err := s.AppendRow(rng.Int63n(500), rng.Int63n(2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	cat.MustAdd(r)
+	cat.MustAdd(s)
+	return cat
+}
+
+func buildAt(t *testing.T, cat *data.Catalog, spec query.SITSpec, m Method, parallelism int) *SIT {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Parallelism = parallelism
+	b, err := NewBuilder(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Build(spec, m)
+	if err != nil {
+		t.Fatalf("%v at parallelism %d: %v", m, parallelism, err)
+	}
+	return s
+}
+
+func sameSIT(a, b *SIT) bool {
+	return a.EstimatedCard == b.EstimatedCard && reflect.DeepEqual(a.Hist, b.Hist)
+}
+
+// TestExactMethodsBitIdenticalAcrossParallelism: SweepFull and SweepExact
+// aggregate per fixed-size chunk and merge in chunk order, so their SITs must
+// be bit-identical at every parallelism level — the acceptance bar of the
+// chunked engine.
+func TestExactMethodsBitIdenticalAcrossParallelism(t *testing.T) {
+	cat := multiChunkCatalog(t, 3*scanChunkRows+123)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	spec, err := query.NewSITSpec("S", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{SweepFull, SweepExact} {
+		serial := buildAt(t, cat, spec, m, 1)
+		for _, p := range []int{2, 8} {
+			got := buildAt(t, cat, spec, m, p)
+			if !sameSIT(serial, got) {
+				t.Errorf("%v: parallelism %d differs from serial: card %v vs %v",
+					m, p, got.EstimatedCard, serial.EstimatedCard)
+			}
+		}
+	}
+}
+
+// TestSampledMethodsDeterministicAtFixedParallelism: Sweep and SweepIndex
+// shard their reservoirs per worker, so two runs with the same seed and the
+// same parallelism level must agree bit for bit.
+func TestSampledMethodsDeterministicAtFixedParallelism(t *testing.T) {
+	cat := multiChunkCatalog(t, 2*scanChunkRows+57)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	spec, err := query.NewSITSpec("S", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Sweep, SweepIndex} {
+		for _, p := range []int{1, 2, 8} {
+			first := buildAt(t, cat, spec, m, p)
+			second := buildAt(t, cat, spec, m, p)
+			if !sameSIT(first, second) {
+				t.Errorf("%v at parallelism %d: two identically-seeded runs differ", m, p)
+			}
+		}
+	}
+}
+
+// TestParallelSweepStatisticallySound: the sharded reservoirs must still
+// produce an accurate SIT — the merged sample's total mass tracks the exact
+// join cardinality within sampling noise.
+func TestParallelSweepStatisticallySound(t *testing.T) {
+	cat := multiChunkCatalog(t, 2*scanChunkRows+57)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	spec, err := query.NewSITSpec("S", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := buildAt(t, cat, spec, SweepExact, 4)
+	for _, p := range []int{1, 4} {
+		got := buildAt(t, cat, spec, Sweep, p)
+		ratio := got.EstimatedCard / exact.EstimatedCard
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("Sweep at parallelism %d: card %v vs exact %v (ratio %.3f)",
+				p, got.EstimatedCard, exact.EstimatedCard, ratio)
+		}
+	}
+}
+
+// TestBuildGroupParallelMatchesSerialExact: grouped shared scans go through
+// the same engine; exact methods must be unaffected by the worker count.
+func TestBuildGroupParallelMatchesSerialExact(t *testing.T) {
+	cat := multiChunkCatalog(t, 2*scanChunkRows+31)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	specA, err := query.NewSITSpec("S", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specY, err := query.NewSITSpec("S", "y", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []query.SITSpec{specA, specY}
+	group := func(p int) []*SIT {
+		cfg := DefaultConfig()
+		cfg.Parallelism = p
+		b, err := NewBuilder(cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := b.BuildGroup(specs, SweepFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := group(1)
+	parallel := group(8)
+	for i := range specs {
+		if !sameSIT(serial[i], parallel[i]) {
+			t.Errorf("group SIT %d differs between serial and parallel", i)
+		}
+	}
+}
+
+func TestConfigRejectsNegativeParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = -1
+	if _, err := NewBuilder(data.NewCatalog(), cfg); err == nil {
+		t.Error("negative parallelism: want error")
+	}
+}
+
+func TestResolveParallelism(t *testing.T) {
+	if got := resolveParallelism(3); got != 3 {
+		t.Errorf("resolveParallelism(3) = %d", got)
+	}
+	if got := resolveParallelism(0); got < 1 {
+		t.Errorf("resolveParallelism(0) = %d, want >= 1", got)
+	}
+}
+
+// shardSeed must give every shard a distinct seed (collisions would correlate
+// neighbouring workers' sampling streams).
+func TestShardSeedsDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for _, base := range []int64{0, 1, 42, -7} {
+		for i := 0; i < 64; i++ {
+			s := shardSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("shardSeed collision: %d (shard %d) repeats seed of shard %d", s, i, prev)
+			}
+			seen[s] = i
+		}
+	}
+}

@@ -122,6 +122,13 @@ type Config struct {
 	// Distinct selects the distinct-value estimator applied to sampled
 	// buckets (default GEE; see the sample package).
 	Distinct sample.DistinctEstimator
+	// Parallelism caps the worker count of the shared sequential scans:
+	// 0 uses GOMAXPROCS, 1 runs fully serially (bit-identical to the original
+	// single-threaded implementation), n > 1 uses at most n workers. Exact
+	// methods (SweepFull, SweepExact) produce bit-identical SITs at every
+	// parallelism level; sampled methods (Sweep, SweepIndex) are deterministic
+	// for a fixed parallelism level.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's experimental defaults.
@@ -148,6 +155,9 @@ func (c Config) validate() error {
 	}
 	if c.Use2DOracles && c.Slices2D < 1 {
 		return fmt.Errorf("sit: 2-D oracle slice count %d must be >= 1", c.Slices2D)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("sit: parallelism %d must be >= 0 (0 = GOMAXPROCS)", c.Parallelism)
 	}
 	return nil
 }

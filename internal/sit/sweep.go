@@ -1,8 +1,10 @@
 package sit
 
 import (
+	"fmt"
+	"sort"
+
 	"github.com/sitstats/sits/internal/btree"
-	"github.com/sitstats/sits/internal/data"
 	"github.com/sitstats/sits/internal/histogram"
 	"github.com/sitstats/sits/internal/sample"
 )
@@ -50,13 +52,30 @@ func (o oracle2D) multiplicity(vals []int64) float64 {
 }
 
 // consumer absorbs the streamed (value, multiplicity) pairs of Sweep's step 3
-// and produces the final histogram.
+// and produces the final histogram. Parallel scans never call add on a shared
+// consumer: each scan partition streams into a private shard obtained from
+// fork, and completed shards are folded back with merge.
 type consumer interface {
 	add(v int64, m float64)
 	// result returns the histogram (with nb buckets, built by method) and the
 	// total streamed mass (the estimated cardinality of the generating
 	// query's result).
 	result(nb int, method histogram.Method) (*histogram.Histogram, float64, error)
+	// fork returns a private shard consumer for scan partition i. Shard seeds
+	// are derived deterministically from the root consumer's seed and i, so a
+	// scan partitioned the same way always produces the same shards. fork only
+	// reads immutable state and is safe to call concurrently (for distinct i).
+	fork(i int) (consumer, error)
+	// merge folds a completed shard produced by fork back into the receiver.
+	// Callers must merge shards in partition order so merges that are
+	// sensitive to ordering (floating-point accumulation) stay deterministic.
+	merge(shard consumer) error
+	// perChunk reports whether shards must be created per scan chunk and
+	// merged in chunk index order — which makes the result independent of the
+	// worker count, since chunk boundaries are fixed — rather than one shard
+	// per worker. Exact consumers are per-chunk; sampled consumers shard per
+	// worker (one reservoir per worker, deterministic for a fixed count).
+	perChunk() bool
 }
 
 // sampledConsumer is Sweep's default: stochastic-rounding reservoir sampling
@@ -67,6 +86,7 @@ type sampledConsumer struct {
 	res  *sample.Reservoir
 	mass float64
 	est  sample.DistinctEstimator
+	seed int64
 }
 
 func newSampledConsumer(k int, seed int64, est sample.DistinctEstimator) (*sampledConsumer, error) {
@@ -74,7 +94,7 @@ func newSampledConsumer(k int, seed int64, est sample.DistinctEstimator) (*sampl
 	if err != nil {
 		return nil, err
 	}
-	return &sampledConsumer{res: r, est: est}, nil
+	return &sampledConsumer{res: r, est: est, seed: seed}, nil
 }
 
 func (c *sampledConsumer) add(v int64, m float64) {
@@ -90,11 +110,27 @@ func (c *sampledConsumer) result(nb int, method histogram.Method) (*histogram.Hi
 	return h, c.mass, err
 }
 
+func (c *sampledConsumer) fork(i int) (consumer, error) {
+	return newSampledConsumer(c.res.Cap(), shardSeed(c.seed, i), c.est)
+}
+
+func (c *sampledConsumer) merge(shard consumer) error {
+	s, ok := shard.(*sampledConsumer)
+	if !ok {
+		return fmt.Errorf("sit: cannot merge %T into sampled consumer", shard)
+	}
+	c.mass += s.mass
+	return c.res.Merge(s.res)
+}
+
+func (c *sampledConsumer) perChunk() bool { return false }
+
 // weightedConsumer is the weighted-reservoir variant (extension): fractional
 // multiplicities are consumed directly, avoiding rounding noise.
 type weightedConsumer struct {
-	res *sample.WeightedReservoir
-	est sample.DistinctEstimator
+	res  *sample.WeightedReservoir
+	est  sample.DistinctEstimator
+	seed int64
 }
 
 func newWeightedConsumer(k int, seed int64, est sample.DistinctEstimator) (*weightedConsumer, error) {
@@ -102,7 +138,7 @@ func newWeightedConsumer(k int, seed int64, est sample.DistinctEstimator) (*weig
 	if err != nil {
 		return nil, err
 	}
-	return &weightedConsumer{res: r, est: est}, nil
+	return &weightedConsumer{res: r, est: est, seed: seed}, nil
 }
 
 func (c *weightedConsumer) add(v int64, m float64) { c.res.Add(v, m) }
@@ -111,6 +147,20 @@ func (c *weightedConsumer) result(nb int, method histogram.Method) (*histogram.H
 	h, err := histogramFromSample(c.res.Sample(), c.res.Mass(), nb, method, c.est)
 	return h, c.res.Mass(), err
 }
+
+func (c *weightedConsumer) fork(i int) (consumer, error) {
+	return newWeightedConsumer(c.res.Cap(), shardSeed(c.seed, i), c.est)
+}
+
+func (c *weightedConsumer) merge(shard consumer) error {
+	s, ok := shard.(*weightedConsumer)
+	if !ok {
+		return fmt.Errorf("sit: cannot merge %T into weighted consumer", shard)
+	}
+	return c.res.Merge(s.res)
+}
+
+func (c *weightedConsumer) perChunk() bool { return false }
 
 // histogramFromSample builds a histogram over sample values, scales it to the
 // full stream mass, and replaces per-bucket distinct counts with estimates
@@ -124,18 +174,27 @@ func histogramFromSample(vals []int64, mass float64, nb int, method histogram.Me
 		return &histogram.Histogram{}, nil
 	}
 	scaled := h.ScaleTo(mass)
+	// Buckets are sorted and disjoint, so one sorted copy of the sample and a
+	// single merge pass assign every value to its bucket; the estimators are
+	// frequency-based and insensitive to the order of their input.
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	next := 0
 	for i := range scaled.Buckets {
 		b := &scaled.Buckets[i]
-		var inBucket []int64
-		for _, v := range vals {
-			if b.Contains(v) {
-				inBucket = append(inBucket, v)
-			}
+		for next < len(sorted) && sorted[next] < b.Lo {
+			next++
 		}
-		d, err := sample.EstimateDistinctWith(est, inBucket, int64(b.Freq+0.5))
+		end := next
+		for end < len(sorted) && sorted[end] <= b.Hi {
+			end++
+		}
+		d, err := sample.EstimateDistinctWith(est, sorted[next:end], int64(b.Freq+0.5))
 		if err != nil {
 			return nil, err
 		}
+		next = end
 		if d > b.Width() {
 			d = b.Width()
 		}
@@ -173,69 +232,54 @@ func (c *fullConsumer) result(nb int, method histogram.Method) (*histogram.Histo
 	return h, c.mass, err
 }
 
+func (c *fullConsumer) fork(int) (consumer, error) { return newFullConsumer(), nil }
+
+func (c *fullConsumer) merge(shard consumer) error {
+	s, ok := shard.(*fullConsumer)
+	if !ok {
+		return fmt.Errorf("sit: cannot merge %T into full consumer", shard)
+	}
+	for v, w := range s.weights {
+		c.weights[v] += w
+	}
+	c.mass += s.mass
+	return nil
+}
+
+// perChunk is true: exact consumers aggregate each fixed-size chunk into its
+// own partial weight map and merge the partials in chunk order, so the final
+// per-value sums group identically at every parallelism level (bit-identical
+// SweepFull/SweepExact output).
+func (c *fullConsumer) perChunk() bool { return true }
+
+// resetShard clears the consumer for reuse as the next chunk's scratch shard,
+// keeping the map's allocated buckets (serial scans merge after every chunk,
+// so one scratch per job suffices instead of one allocation per chunk).
+func (c *fullConsumer) resetShard() {
+	clear(c.weights)
+	c.mass = 0
+}
+
 // jobPred is one join edge of the scan: the scanned table's attribute(s)
-// and the oracle that answers multiplicities for them.
+// and the oracle that answers multiplicities for them. cols caches the
+// attributes' integer offsets into the shared scan's column set (resolved
+// once per scan by resolveColumns), so the per-tuple loop never touches a
+// name map.
 type jobPred struct {
 	attrs []string
 	o     oracle
+	cols  []int
 }
 
 // scanJob is one SIT produced by a shared sequential scan (Section 4's
 // "sharing the same sequential scan to build more than one SIT"): the target
 // attribute whose values are streamed, the per-predicate oracles whose
 // multiplicities are multiplied (acyclic multi-child case, Section 3.2), and
-// the consumer that absorbs the stream.
+// the consumer that absorbs the stream. targetCol is the target attribute's
+// resolved column offset.
 type scanJob struct {
 	targetAttr string
+	targetCol  int
 	preds      []jobPred
 	cons       consumer
-}
-
-// runSharedScan performs one sequential scan over the table and feeds every
-// job. Per tuple and job, the multiplicity is the product of the per-
-// predicate oracle answers; the job's target value is streamed with that
-// multiplicity.
-func runSharedScan(t *data.Table, jobs []*scanJob) error {
-	// Collect the union of required columns.
-	colIdx := map[string]int{}
-	var cols []string
-	need := func(c string) {
-		if _, ok := colIdx[c]; !ok {
-			colIdx[c] = len(cols)
-			cols = append(cols, c)
-		}
-	}
-	for _, j := range jobs {
-		need(j.targetAttr)
-		for _, p := range j.preds {
-			for _, a := range p.attrs {
-				need(a)
-			}
-		}
-	}
-	sc, err := t.Scan(cols...)
-	if err != nil {
-		return err
-	}
-	vbuf := make([]int64, 4)
-	for sc.Next() {
-		row := sc.Row()
-		for _, j := range jobs {
-			m := 1.0
-			for _, p := range j.preds {
-				vals := vbuf[:0]
-				for _, a := range p.attrs {
-					vals = append(vals, row[colIdx[a]])
-				}
-				m *= p.o.multiplicity(vals)
-				if m == 0 {
-					break
-				}
-			}
-			if m > 0 {
-				j.cons.add(row[colIdx[j.targetAttr]], m)
-			}
-		}
-	}
-	return nil
 }
