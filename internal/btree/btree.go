@@ -60,7 +60,8 @@ func NewWithDegree(degree int) *Tree {
 }
 
 // Build constructs a tree from a value slice; equivalent to inserting every
-// value but amortizes duplicate handling by pre-aggregating.
+// value but sorts once, pre-aggregates duplicates, and bulk-loads the tree
+// bottom-up instead of descending from the root per key.
 func Build(vals []int64) *Tree {
 	t := New()
 	if len(vals) == 0 {
@@ -69,16 +70,133 @@ func Build(vals []int64) *Tree {
 	sorted := make([]int64, len(vals))
 	copy(sorted, vals)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	keys := make([]int64, 0, len(sorted))
+	counts := make([]int64, 0, len(sorted))
 	i := 0
 	for i < len(sorted) {
 		j := i
 		for j < len(sorted) && sorted[j] == sorted[i] {
 			j++
 		}
-		t.InsertCount(sorted[i], int64(j-i))
+		keys = append(keys, sorted[i])
+		counts = append(counts, int64(j-i))
 		i = j
 	}
-	return t
+	loaded, err := BulkLoad(keys, counts)
+	if err != nil {
+		panic(err) // unreachable: keys are strictly increasing with positive counts
+	}
+	return loaded
+}
+
+// BulkLoad builds a tree bottom-up from pre-sorted (key, count) pairs: keys
+// must be strictly increasing and counts positive. It produces the same
+// multiset as inserting every pair incrementally but runs in O(n) after
+// sorting, packing leaves left to right and stitching inner levels over them —
+// the standard bottom-up B+tree load used for index creation after an
+// external sort.
+func BulkLoad(keys, counts []int64) (*Tree, error) {
+	return BulkLoadWithDegree(keys, counts, DefaultDegree)
+}
+
+// BulkLoadWithDegree is BulkLoad with an explicit node capacity.
+func BulkLoadWithDegree(keys, counts []int64, degree int) (*Tree, error) {
+	if degree < 3 {
+		return nil, fmt.Errorf("btree: degree %d must be >= 3", degree)
+	}
+	if len(keys) != len(counts) {
+		return nil, fmt.Errorf("btree: bulk load got %d keys but %d counts", len(keys), len(counts))
+	}
+	t := NewWithDegree(degree)
+	if len(keys) == 0 {
+		return t, nil
+	}
+	var size int64
+	for i := range keys {
+		if i > 0 && keys[i-1] >= keys[i] {
+			return nil, fmt.Errorf("btree: bulk load keys not strictly increasing at %d (%d >= %d)", i, keys[i-1], keys[i])
+		}
+		if counts[i] <= 0 {
+			return nil, fmt.Errorf("btree: bulk load count %d for key %d must be positive", counts[i], keys[i])
+		}
+		size += counts[i]
+	}
+
+	// Pack leaves with `degree` keys each; a trailing underfull leaf borrows
+	// from its (full) left sibling so every non-root leaf holds >= degree/2.
+	var leaves []*leaf
+	for start := 0; start < len(keys); start += degree {
+		end := start + degree
+		if end > len(keys) {
+			end = len(keys)
+		}
+		leaves = append(leaves, &leaf{
+			keys:   append([]int64(nil), keys[start:end]...),
+			counts: append([]int64(nil), counts[start:end]...),
+		})
+	}
+	if n := len(leaves); n > 1 && len(leaves[n-1].keys) < degree/2 {
+		prev, last := leaves[n-2], leaves[n-1]
+		move := degree/2 - len(last.keys)
+		cut := len(prev.keys) - move
+		last.keys = append(append([]int64(nil), prev.keys[cut:]...), last.keys...)
+		last.counts = append(append([]int64(nil), prev.counts[cut:]...), last.counts...)
+		prev.keys = prev.keys[:cut:cut]
+		prev.counts = prev.counts[:cut:cut]
+	}
+	for i := 0; i < len(leaves)-1; i++ {
+		leaves[i].next = leaves[i+1]
+	}
+
+	// Stitch inner levels bottom-up. mins[i] is the smallest key in the
+	// subtree of level[i]; the separator left of a child is exactly that
+	// subtree minimum, preserving the "children[i] covers keys < keys[i]"
+	// invariant.
+	level := make([]node, len(leaves))
+	mins := make([]int64, len(leaves))
+	for i, l := range leaves {
+		level[i] = l
+		mins[i] = l.keys[0]
+	}
+	maxChildren := degree + 1
+	minChildren := degree/2 + 1
+	for len(level) > 1 {
+		var nextLevel []node
+		var nextMins []int64
+		for start := 0; start < len(level); start += maxChildren {
+			end := start + maxChildren
+			if end > len(level) {
+				end = len(level)
+			}
+			nextLevel = append(nextLevel, &inner{
+				keys:     append([]int64(nil), mins[start+1:end]...),
+				children: append([]node(nil), level[start:end]...),
+			})
+			nextMins = append(nextMins, mins[start])
+		}
+		if n := len(nextLevel); n > 1 {
+			last := nextLevel[n-1].(*inner)
+			if len(last.children) < minChildren {
+				prev := nextLevel[n-2].(*inner)
+				move := minChildren - len(last.children)
+				cut := len(prev.children) - move
+				// The separators of the moved children are the subtree minima
+				// of all but the first moved child, plus the old minimum of
+				// the last node (now an internal separator).
+				sepCut := len(prev.keys) - move + 1
+				last.keys = append(append([]int64(nil), prev.keys[sepCut:]...), append([]int64{nextMins[n-1]}, last.keys...)...)
+				last.children = append(append([]node(nil), prev.children[cut:]...), last.children...)
+				nextMins[n-1] = prev.keys[sepCut-1]
+				prev.keys = prev.keys[: sepCut-1 : sepCut-1]
+				prev.children = prev.children[:cut:cut]
+			}
+		}
+		level, mins = nextLevel, nextMins
+	}
+	t.root = level[0]
+	t.size = size
+	t.keys = len(keys)
+	return t, nil
 }
 
 // Insert adds one occurrence of key.

@@ -1,0 +1,140 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bulkInputs generates n strictly-increasing keys (spanning negatives) with
+// positive counts.
+func bulkInputs(rng *rand.Rand, n int) (keys, counts []int64) {
+	keys = make([]int64, n)
+	counts = make([]int64, n)
+	k := -int64(n) * 3
+	for i := 0; i < n; i++ {
+		k += 1 + rng.Int63n(5)
+		keys[i] = k
+		counts[i] = 1 + rng.Int63n(9)
+	}
+	return keys, counts
+}
+
+// TestBulkLoadMatchesIncremental: a bulk-loaded tree must be observationally
+// identical to one built by incremental InsertCount calls — same validity
+// invariants, size, distinct keys, per-key counts, range counts, iteration
+// order, and extrema — across sizes that hit empty trees, a root-only leaf,
+// trailing-leaf underflow, and multi-level inner underflow, at several
+// degrees.
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sizes := []int{0, 1, 2, 3, 7, 8, 64, 65, 100, 513, 2000}
+	for _, degree := range []int{3, 4, 5, 7, 64} {
+		for _, n := range sizes {
+			keys, counts := bulkInputs(rng, n)
+			bulk, err := BulkLoadWithDegree(keys, counts, degree)
+			if err != nil {
+				t.Fatalf("degree %d n %d: %v", degree, n, err)
+			}
+			if err := bulk.Validate(); err != nil {
+				t.Fatalf("degree %d n %d: bulk-loaded tree invalid: %v", degree, n, err)
+			}
+			inc := NewWithDegree(degree)
+			for i, k := range keys {
+				inc.InsertCount(k, counts[i])
+			}
+			if bulk.Len() != inc.Len() || bulk.DistinctKeys() != inc.DistinctKeys() {
+				t.Fatalf("degree %d n %d: len/distinct = %d/%d, want %d/%d",
+					degree, n, bulk.Len(), bulk.DistinctKeys(), inc.Len(), inc.DistinctKeys())
+			}
+			// Full ascent must visit the input pairs in order.
+			i := 0
+			bulk.Ascend(func(k, c int64) bool {
+				if k != keys[i] || c != counts[i] {
+					t.Fatalf("degree %d n %d: ascend[%d] = (%d,%d), want (%d,%d)",
+						degree, n, i, k, c, keys[i], counts[i])
+				}
+				i++
+				return true
+			})
+			if i != n {
+				t.Fatalf("degree %d n %d: ascend visited %d keys", degree, n, i)
+			}
+			for trial := 0; trial < 20; trial++ {
+				k := rng.Int63n(int64(4*n+8)) - int64(2*n+4)
+				if got, want := bulk.Count(k), inc.Count(k); got != want {
+					t.Fatalf("degree %d n %d: Count(%d) = %d, want %d", degree, n, k, got, want)
+				}
+				lo := rng.Int63n(int64(4*n+8)) - int64(2*n+4)
+				hi := lo + rng.Int63n(int64(2*n+4))
+				if got, want := bulk.CountRange(lo, hi), inc.CountRange(lo, hi); got != want {
+					t.Fatalf("degree %d n %d: CountRange(%d,%d) = %d, want %d", degree, n, lo, hi, got, want)
+				}
+			}
+			bmin, bok := bulk.Min()
+			imin, iok := inc.Min()
+			if bok != iok || bmin != imin {
+				t.Fatalf("degree %d n %d: Min = (%d,%v), want (%d,%v)", degree, n, bmin, bok, imin, iok)
+			}
+			bmax, bok := bulk.Max()
+			imax, iok := inc.Max()
+			if bok != iok || bmax != imax {
+				t.Fatalf("degree %d n %d: Max = (%d,%v), want (%d,%v)", degree, n, bmax, bok, imax, iok)
+			}
+		}
+	}
+}
+
+func TestBulkLoadErrors(t *testing.T) {
+	if _, err := BulkLoad([]int64{1, 2}, []int64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := BulkLoad([]int64{2, 1}, []int64{1, 1}); err == nil {
+		t.Error("descending keys: want error")
+	}
+	if _, err := BulkLoad([]int64{1, 1}, []int64{1, 1}); err == nil {
+		t.Error("duplicate keys: want error")
+	}
+	if _, err := BulkLoad([]int64{1}, []int64{0}); err == nil {
+		t.Error("zero count: want error")
+	}
+	if _, err := BulkLoad([]int64{1}, []int64{-3}); err == nil {
+		t.Error("negative count: want error")
+	}
+	if _, err := BulkLoadWithDegree([]int64{1}, []int64{1}, 2); err == nil {
+		t.Error("degree 2: want error")
+	}
+	tr, err := BulkLoad(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Validate() != nil {
+		t.Error("empty bulk load must yield a valid empty tree")
+	}
+}
+
+// TestBuildUsesBulkLoad: Build remains equivalent to incremental insertion
+// now that it routes through BulkLoad.
+func TestBuildUsesBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(700) - 350
+	}
+	built := Build(vals)
+	if err := built.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inc := New()
+	for _, v := range vals {
+		inc.Insert(v)
+	}
+	if built.Len() != inc.Len() || built.DistinctKeys() != inc.DistinctKeys() {
+		t.Fatalf("len/distinct = %d/%d, want %d/%d",
+			built.Len(), built.DistinctKeys(), inc.Len(), inc.DistinctKeys())
+	}
+	for v := int64(-360); v <= 360; v += 7 {
+		if built.Count(v) != inc.Count(v) {
+			t.Fatalf("Count(%d) = %d, want %d", v, built.Count(v), inc.Count(v))
+		}
+	}
+}

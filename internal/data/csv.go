@@ -24,7 +24,27 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	row := make([]int64, len(cols))
+	// Parse into column-major buffers and flush them in batches through the
+	// bulk-append API: one copy per column per batch instead of one append
+	// per field.
+	const batchRows = 4096
+	buf := make([][]int64, len(cols))
+	for i := range buf {
+		buf[i] = make([]int64, 0, batchRows)
+	}
+	flush := func() error {
+		if len(buf[0]) == 0 {
+			return nil
+		}
+		t.Grow(len(buf[0]))
+		if err := t.AppendColumns(buf...); err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = buf[i][:0]
+		}
+		return nil
+	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -41,11 +61,16 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("data: CSV for %q line %d column %q: %w", name, line, cols[i], err)
 			}
-			row[i] = v
+			buf[i] = append(buf[i], v)
 		}
-		if err := t.AppendRow(row...); err != nil {
-			return nil, err
+		if len(buf[0]) == batchRows {
+			if err := flush(); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

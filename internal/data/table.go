@@ -128,6 +128,59 @@ func (t *Table) AppendRow(vals ...int64) error {
 	return nil
 }
 
+// Grow preallocates capacity for at least n additional rows in every column,
+// so a sequence of appends totalling n rows performs at most one allocation
+// per column. Growth is geometric (at least doubling), so calling Grow before
+// every one of a long series of small batch appends stays amortized O(1) per
+// row instead of copying the table each time. It never shrinks and is a no-op
+// for n <= 0.
+func (t *Table) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	for i := range t.cols {
+		vals := t.cols[i].Vals
+		if cap(vals)-len(vals) >= n {
+			continue
+		}
+		newCap := len(vals) + n
+		if c := 2 * cap(vals); c > newCap {
+			newCap = c
+		}
+		grown := make([]int64, len(vals), newCap)
+		copy(grown, vals)
+		t.cols[i].Vals = grown
+	}
+}
+
+// AppendColumns appends one value slice per column, in declaration order: all
+// slices must have equal length, and vals[i] is appended to column i. This is
+// the bulk counterpart of AppendRow — a batch of k rows costs one copy per
+// column instead of k per-row appends.
+func (t *Table) AppendColumns(vals ...[]int64) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("data: table %q: AppendColumns got %d columns, want %d", t.name, len(vals), len(t.cols))
+	}
+	n := len(vals[0])
+	for i := 1; i < len(vals); i++ {
+		if len(vals[i]) != n {
+			return fmt.Errorf("data: table %q: AppendColumns column %q has %d rows, want %d",
+				t.name, t.cols[i].Name, len(vals[i]), n)
+		}
+	}
+	for i, v := range vals {
+		t.cols[i].Vals = append(t.cols[i].Vals, v...)
+	}
+	return nil
+}
+
+// AppendBatch appends a column-major batch: cols[i] is appended to column i.
+// It is AppendColumns with a slice-of-slices signature, matching the batch
+// layout the vectorized executor produces.
+func (t *Table) AppendBatch(cols [][]int64) error {
+	return t.AppendColumns(cols...)
+}
+
 // SetColumn replaces the contents of the named column. All columns of a table
 // must have equal length once the table is used, which is validated by
 // Validate; SetColumn itself only checks the column exists.

@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"github.com/sitstats/sits/internal/data"
+)
+
+// This file defines the vectorized half of the executor. Operators exchange
+// fixed-size column-vector batches instead of single rows: a Batch holds one
+// int64 slice per output column plus an optional selection vector, so scans
+// serve table columns as sub-slices with no per-row copying, filters produce
+// selection vectors instead of moving data, and joins emit their results
+// column-wise. The pull-based row Operator interface remains available through
+// the Rows adapter for callers (and tests) that want rows.
+
+// DefaultBatchSize is the number of rows per batch. 1024 rows keep a handful
+// of int64 columns resident in L1/L2 while amortizing per-batch dispatch.
+const DefaultBatchSize = 1024
+
+// Batch is a column-vector batch: Cols holds one value slice per output
+// column, all of equal length. Sel, when non-nil, lists the active row
+// indices in ascending order (rows not listed are filtered out); when nil,
+// every row is active. Batches returned by NextBatch may reuse backing arrays
+// across calls; consumers that retain values must copy them.
+type Batch struct {
+	Cols [][]int64
+	Sel  []int32
+}
+
+// NumRows returns the number of active rows in the batch.
+func (b *Batch) NumRows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return len(b.Cols[0])
+}
+
+// BatchOperator is a pull-based batch iterator: the vectorized counterpart of
+// Operator.
+type BatchOperator interface {
+	// Columns returns the qualified output column names.
+	Columns() []string
+	// NextBatch returns the next batch, or ok=false when exhausted. The
+	// returned batch (including its backing arrays) may be reused by
+	// subsequent calls.
+	NextBatch() (*Batch, bool)
+	// Reset rewinds the operator so it can be consumed again.
+	Reset()
+}
+
+// BatchScan serves batches directly from a table's column storage: each batch
+// column is a sub-slice of the table column (no copying at all).
+type BatchScan struct {
+	cols  []string
+	store [][]int64
+	n     int
+	pos   int
+	size  int
+	out   Batch
+}
+
+// NewBatchScan creates a batch scan over all columns of the table with the
+// default batch size, exposing columns qualified with the table's name.
+func NewBatchScan(t *data.Table) *BatchScan { return NewBatchScanSize(t, DefaultBatchSize) }
+
+// NewBatchScanSize is NewBatchScan with an explicit batch size.
+func NewBatchScanSize(t *data.Table, batchSize int) *BatchScan {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	names := t.ColumnNames()
+	s := &BatchScan{
+		cols:  make([]string, len(names)),
+		store: make([][]int64, len(names)),
+		n:     t.NumRows(),
+		size:  batchSize,
+	}
+	for i, n := range names {
+		s.cols[i] = t.Name() + "." + n
+		s.store[i] = t.MustColumn(n)
+	}
+	s.out.Cols = make([][]int64, len(names))
+	return s
+}
+
+// Columns implements BatchOperator.
+func (s *BatchScan) Columns() []string { return s.cols }
+
+// NextBatch implements BatchOperator: the batch columns alias the table's
+// backing storage and must not be modified.
+func (s *BatchScan) NextBatch() (*Batch, bool) {
+	if s.pos >= s.n {
+		return nil, false
+	}
+	end := s.pos + s.size
+	if end > s.n {
+		end = s.n
+	}
+	for i := range s.store {
+		s.out.Cols[i] = s.store[i][s.pos:end]
+	}
+	s.out.Sel = nil
+	s.pos = end
+	return &s.out, true
+}
+
+// Reset implements BatchOperator.
+func (s *BatchScan) Reset() { s.pos = 0 }
+
+// BatchFilter evaluates a row predicate over each input batch and narrows the
+// selection vector; column data is never moved.
+type BatchFilter struct {
+	in   BatchOperator
+	pred func(cols [][]int64, r int) bool
+	sel  []int32
+	out  Batch
+}
+
+// NewBatchFilter wraps in with a predicate over the batch's physical row r.
+func NewBatchFilter(in BatchOperator, pred func(cols [][]int64, r int) bool) *BatchFilter {
+	return &BatchFilter{in: in, pred: pred}
+}
+
+// NewBatchRangeFilter filters rows to lo <= col <= hi.
+func NewBatchRangeFilter(in BatchOperator, col string, lo, hi int64) (*BatchFilter, error) {
+	idx, err := columnIndex(in.Columns(), col)
+	if err != nil {
+		return nil, err
+	}
+	return NewBatchFilter(in, func(cols [][]int64, r int) bool {
+		v := cols[idx][r]
+		return v >= lo && v <= hi
+	}), nil
+}
+
+// Columns implements BatchOperator.
+func (f *BatchFilter) Columns() []string { return f.in.Columns() }
+
+// NextBatch implements BatchOperator: batches with no surviving rows are
+// skipped, so returned batches are never empty.
+func (f *BatchFilter) NextBatch() (*Batch, bool) {
+	for {
+		b, ok := f.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		sel := f.sel[:0]
+		if b.Sel != nil {
+			for _, r := range b.Sel {
+				if f.pred(b.Cols, int(r)) {
+					sel = append(sel, r)
+				}
+			}
+		} else {
+			n := b.NumRows()
+			for r := 0; r < n; r++ {
+				if f.pred(b.Cols, r) {
+					sel = append(sel, int32(r))
+				}
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		f.sel = sel
+		f.out.Cols = b.Cols
+		f.out.Sel = sel
+		return &f.out, true
+	}
+}
+
+// Reset implements BatchOperator.
+func (f *BatchFilter) Reset() { f.in.Reset() }
+
+// BatchProject narrows the output to a subset of columns by reordering the
+// column slice headers; no values are copied.
+type BatchProject struct {
+	in   BatchOperator
+	idx  []int
+	cols []string
+	out  Batch
+}
+
+// NewBatchProject projects in onto the named columns.
+func NewBatchProject(in BatchOperator, cols ...string) (*BatchProject, error) {
+	p := &BatchProject{in: in, cols: append([]string(nil), cols...)}
+	for _, c := range cols {
+		i, err := columnIndex(in.Columns(), c)
+		if err != nil {
+			return nil, err
+		}
+		p.idx = append(p.idx, i)
+	}
+	p.out.Cols = make([][]int64, len(cols))
+	return p, nil
+}
+
+// Columns implements BatchOperator.
+func (p *BatchProject) Columns() []string { return p.cols }
+
+// NextBatch implements BatchOperator.
+func (p *BatchProject) NextBatch() (*Batch, bool) {
+	b, ok := p.in.NextBatch()
+	if !ok {
+		return nil, false
+	}
+	for i, j := range p.idx {
+		p.out.Cols[i] = b.Cols[j]
+	}
+	p.out.Sel = b.Sel
+	return &p.out, true
+}
+
+// Reset implements BatchOperator.
+func (p *BatchProject) Reset() { p.in.Reset() }
+
+// Rows adapts a BatchOperator to the row Operator interface, preserving the
+// batch pipeline's row order. It is the thin compatibility layer for callers
+// that still want rows.
+type Rows struct {
+	in  BatchOperator
+	cur *Batch
+	pos int
+	row []int64
+}
+
+// NewRows wraps a batch operator as a row operator.
+func NewRows(in BatchOperator) *Rows {
+	return &Rows{in: in, row: make([]int64, len(in.Columns()))}
+}
+
+// Columns implements Operator.
+func (a *Rows) Columns() []string { return a.in.Columns() }
+
+// Next implements Operator.
+func (a *Rows) Next() ([]int64, bool) {
+	for a.cur == nil || a.pos >= a.cur.NumRows() {
+		b, ok := a.in.NextBatch()
+		if !ok {
+			return nil, false
+		}
+		a.cur, a.pos = b, 0
+	}
+	r := a.pos
+	if a.cur.Sel != nil {
+		r = int(a.cur.Sel[a.pos])
+	}
+	for i, c := range a.cur.Cols {
+		a.row[i] = c[r]
+	}
+	a.pos++
+	return a.row, true
+}
+
+// Reset implements Operator.
+func (a *Rows) Reset() {
+	a.in.Reset()
+	a.cur, a.pos = nil, 0
+}
+
+// Batches adapts a row Operator to the batch interface by buffering rows
+// column-wise, so row-only operators can feed a vectorized pipeline.
+type Batches struct {
+	in   Operator
+	size int
+	bufs [][]int64
+	out  Batch
+}
+
+// NewBatches wraps a row operator as a batch operator with the default batch
+// size.
+func NewBatches(in Operator) *Batches { return NewBatchesSize(in, DefaultBatchSize) }
+
+// NewBatchesSize is NewBatches with an explicit batch size.
+func NewBatchesSize(in Operator, batchSize int) *Batches {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	nc := len(in.Columns())
+	b := &Batches{in: in, size: batchSize, bufs: make([][]int64, nc)}
+	for i := range b.bufs {
+		b.bufs[i] = make([]int64, 0, batchSize)
+	}
+	b.out.Cols = make([][]int64, nc)
+	return b
+}
+
+// Columns implements BatchOperator.
+func (b *Batches) Columns() []string { return b.in.Columns() }
+
+// NextBatch implements BatchOperator.
+func (b *Batches) NextBatch() (*Batch, bool) {
+	for i := range b.bufs {
+		b.bufs[i] = b.bufs[i][:0]
+	}
+	n := 0
+	for n < b.size {
+		row, ok := b.in.Next()
+		if !ok {
+			break
+		}
+		for i, v := range row {
+			b.bufs[i] = append(b.bufs[i], v)
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, false
+	}
+	copy(b.out.Cols, b.bufs)
+	b.out.Sel = nil
+	return &b.out, true
+}
+
+// Reset implements BatchOperator.
+func (b *Batches) Reset() { b.in.Reset() }

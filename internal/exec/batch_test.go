@@ -1,0 +1,431 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/query"
+)
+
+func drainBatches(t *testing.T, op BatchOperator) [][]int64 {
+	t.Helper()
+	var out [][]int64
+	for {
+		b, ok := op.NextBatch()
+		if !ok {
+			return out
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			r := i
+			if b.Sel != nil {
+				r = int(b.Sel[i])
+			}
+			row := make([]int64, len(b.Cols))
+			for c, col := range b.Cols {
+				row[c] = col[r]
+			}
+			out = append(out, row)
+		}
+	}
+}
+
+func TestBatchScan(t *testing.T) {
+	tab := data.MustNewTable("R", "x", "a")
+	for i := int64(0); i < 2500; i++ {
+		if err := tab.AppendRow(i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewBatchScan(tab)
+	if !reflect.DeepEqual(s.Columns(), []string{"R.x", "R.a"}) {
+		t.Errorf("columns = %v", s.Columns())
+	}
+	var rows int
+	var batches int
+	for {
+		b, ok := s.NextBatch()
+		if !ok {
+			break
+		}
+		batches++
+		if b.Sel != nil {
+			t.Fatal("scan batches must not carry a selection vector")
+		}
+		for i, v := range b.Cols[0] {
+			if b.Cols[1][i] != v*10 {
+				t.Fatalf("row %d: a = %d, want %d", rows+i, b.Cols[1][i], v*10)
+			}
+		}
+		rows += b.NumRows()
+	}
+	if rows != 2500 {
+		t.Errorf("rows = %d, want 2500", rows)
+	}
+	if batches != 3 { // 1024 + 1024 + 452
+		t.Errorf("batches = %d, want 3", batches)
+	}
+	s.Reset()
+	if b, ok := s.NextBatch(); !ok || b.NumRows() != 1024 {
+		t.Error("Reset did not rewind the scan")
+	}
+}
+
+func TestBatchFilterAndProject(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "a"}, [][]int64{{1, 10}, {2, 20}, {3, 30}, {4, 40}})
+	f, err := NewBatchRangeFilter(NewBatchScan(tab), "R.a", 15, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainBatches(t, f)
+	if !reflect.DeepEqual(rows, [][]int64{{2, 20}, {3, 30}}) {
+		t.Errorf("filtered = %v", rows)
+	}
+	if _, err := NewBatchRangeFilter(NewBatchScan(tab), "R.zz", 0, 1); err == nil {
+		t.Error("bad column: want error")
+	}
+
+	f.Reset()
+	p, err := NewBatchProject(f, "R.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = drainBatches(t, p)
+	if !reflect.DeepEqual(rows, [][]int64{{20}, {30}}) {
+		t.Errorf("projected through filter = %v", rows)
+	}
+	if _, err := NewBatchProject(NewBatchScan(tab), "bogus"); err == nil {
+		t.Error("bad project column: want error")
+	}
+}
+
+// TestRowsBatchesAdapters: wrapping row->batch->row preserves the stream.
+func TestRowsBatchesAdapters(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "a"}, [][]int64{{1, 10}, {2, 20}, {3, 30}})
+	direct := drain(t, NewTableScan(tab))
+	adapted := drain(t, NewRows(NewBatches(NewTableScan(tab))))
+	if !reflect.DeepEqual(direct, adapted) {
+		t.Errorf("adapted rows = %v, want %v", adapted, direct)
+	}
+	a := NewRows(NewBatchScan(tab))
+	if got := drain(t, a); !reflect.DeepEqual(got, direct) {
+		t.Errorf("batch-scan rows = %v, want %v", got, direct)
+	}
+	a.Reset()
+	if got := drain(t, a); len(got) != 3 {
+		t.Errorf("after Reset: %v", got)
+	}
+}
+
+// TestVecHashJoinBitIdentical: the vectorized join must produce exactly the
+// same output sequence (not just multiset) as the row HashJoin and the
+// NestedLoopJoin reference, at every parallelism level.
+func TestVecHashJoinBitIdentical(t *testing.T) {
+	r, s := randomJoinInputs(3, 5000, 4000, 300)
+	want := drain(t, mustNestedLoop(t, NewTableScan(r), NewTableScan(s),
+		JoinCond{LeftCol: "R.x", RightCol: "S.y"}))
+	rowJoin, err := NewHashJoin(NewTableScan(r), NewTableScan(s), JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, rowJoin); !reflect.DeepEqual(got, want) {
+		t.Fatalf("row HashJoin output differs from NestedLoopJoin (%d vs %d rows)", len(got), len(want))
+	}
+	for _, p := range []int{1, 2, 4, 0} {
+		vj, err := NewVecHashJoin(NewBatchScan(r), NewBatchScan(s), p, JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drainBatches(t, vj); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: VecHashJoin output differs from NestedLoopJoin (%d vs %d rows)", p, len(got), len(want))
+		}
+	}
+}
+
+func mustNestedLoop(t *testing.T, l, r Operator, conds ...JoinCond) *NestedLoopJoin {
+	t.Helper()
+	j, err := NewNestedLoopJoin(l, r, conds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestVecHashJoinLongChain exercises a match chain longer than a batch, which
+// must pause and resume across NextBatch calls.
+func TestVecHashJoinLongChain(t *testing.T) {
+	r := data.MustNewTable("R", "x", "p")
+	for i := int64(0); i < 3000; i++ {
+		if err := r.AppendRow(7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := makeTable(t, "S", []string{"y"}, [][]int64{{7}, {8}, {7}})
+	vj, err := NewVecHashJoin(NewBatchScan(r), NewBatchScan(s), 1, JoinCond{LeftCol: "R.x", RightCol: "S.y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainBatches(t, vj)
+	if len(rows) != 6000 {
+		t.Fatalf("rows = %d, want 6000", len(rows))
+	}
+	// Matches stream in build order per probe row, twice.
+	for i := 0; i < 3000; i++ {
+		if rows[i][1] != int64(i) || rows[3000+i][1] != int64(i) {
+			t.Fatalf("row %d: chain order broken: %v / %v", i, rows[i], rows[3000+i])
+		}
+	}
+	vj.Reset()
+	if again := drainBatches(t, vj); len(again) != 6000 {
+		t.Errorf("after Reset: %d rows", len(again))
+	}
+}
+
+func TestVecHashJoinEmptyInputs(t *testing.T) {
+	empty := data.MustNewTable("E", "x")
+	full := makeTable(t, "F", []string{"y"}, [][]int64{{1}, {2}})
+	j1, err := NewVecHashJoin(NewBatchScan(empty), NewBatchScan(full), 1, JoinCond{LeftCol: "E.x", RightCol: "F.y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := drainBatches(t, j1); len(rows) != 0 {
+		t.Errorf("empty build side: %d rows", len(rows))
+	}
+	j2, err := NewVecHashJoin(NewBatchScan(full), NewBatchScan(empty), 1, JoinCond{LeftCol: "F.y", RightCol: "E.x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := drainBatches(t, j2); len(rows) != 0 {
+		t.Errorf("empty probe side: %d rows", len(rows))
+	}
+	if _, err := NewVecHashJoin(NewBatchScan(full), NewBatchScan(empty), 1); err == nil {
+		t.Error("no conditions: want error")
+	}
+	if _, err := NewVecHashJoin(NewBatchScan(full), NewBatchScan(empty), 1, JoinCond{LeftCol: "F.q", RightCol: "E.x"}); err == nil {
+		t.Error("bad column: want error")
+	}
+}
+
+// randomMultiCondInputs builds tables with duplicates on both sides, negative
+// keys, and (sometimes) empty inputs, for multi-condition join testing.
+func randomMultiCondInputs(seed int64) (*data.Table, *data.Table, []JoinCond) {
+	rng := rand.New(rand.NewSource(seed))
+	n1, n2 := rng.Intn(120), rng.Intn(120)
+	if seed%7 == 0 {
+		n1 = 0 // occasionally empty build side
+	}
+	if seed%11 == 0 {
+		n2 = 0 // occasionally empty probe side
+	}
+	dom := int64(2 + rng.Intn(6))                           // tiny domains force duplicates
+	draw := func() int64 { return rng.Int63n(2*dom) - dom } // negative and positive keys
+	r := data.MustNewTable("R", "w", "y", "p")
+	for i := 0; i < n1; i++ {
+		r.AppendRow(draw(), draw(), rng.Int63n(50))
+	}
+	s := data.MustNewTable("S", "x", "z", "q")
+	for i := 0; i < n2; i++ {
+		s.AppendRow(draw(), draw(), rng.Int63n(50))
+	}
+	conds := []JoinCond{
+		{LeftCol: "R.w", RightCol: "S.x"},
+		{LeftCol: "R.y", RightCol: "S.z"},
+	}
+	return r, s, conds
+}
+
+// TestJoinPropertyMultiCond is the property test over the three join
+// implementations: on randomized multi-condition inputs (duplicates on both
+// sides, negative keys, empty inputs) HashJoin, VecHashJoin, NestedLoopJoin,
+// and MergeJoin (on the first condition, remaining conditions as a filter)
+// must produce identical sorted outputs.
+func TestJoinPropertyMultiCond(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r, s, conds := randomMultiCondInputs(seed)
+
+		nj := mustNestedLoop(t, NewTableScan(r), NewTableScan(s), conds...)
+		want := drain(t, nj)
+		sortRows(want)
+
+		hj, err := NewHashJoin(NewTableScan(r), NewTableScan(s), conds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, hj)
+		sortRows(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: HashJoin != NestedLoopJoin (%d vs %d rows)", seed, len(got), len(want))
+		}
+
+		for _, p := range []int{1, 3} {
+			vj, err := NewVecHashJoin(NewBatchScan(r), NewBatchScan(s), p, conds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vg := drainBatches(t, vj)
+			sortRows(vg)
+			if !reflect.DeepEqual(vg, want) {
+				t.Fatalf("seed %d parallelism %d: VecHashJoin != NestedLoopJoin (%d vs %d rows)", seed, p, len(vg), len(want))
+			}
+		}
+
+		// MergeJoin handles the first condition; the second is applied as an
+		// equality filter on top — together an equivalent multi-condition join.
+		ls, err := NewSort(NewTableScan(r), "R.w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewSort(NewTableScan(s), "S.x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := NewMergeJoin(ls, rs, "R.w", "S.x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		iy, _ := columnIndex(mj.Columns(), "R.y")
+		iz, _ := columnIndex(mj.Columns(), "S.z")
+		mg := drain(t, NewFilter(mj, func(row []int64) bool { return row[iy] == row[iz] }))
+		sortRows(mg)
+		if !reflect.DeepEqual(mg, want) {
+			t.Fatalf("seed %d: MergeJoin+filter != NestedLoopJoin (%d vs %d rows)", seed, len(mg), len(want))
+		}
+	}
+}
+
+// TestPlanBatchMatchesRowReference: the full batch pipeline (Plan + the Rows
+// adapter) must be row-for-row identical to a reference plan assembled from
+// NestedLoopJoin in the same join order, and identical at every parallelism
+// level — the executor-rewrite acceptance check.
+func TestPlanBatchMatchesRowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cat := data.NewCatalog()
+	r := data.MustNewTable("R", "x")
+	for i := 0; i < 400; i++ {
+		r.AppendRow(rng.Int63n(40))
+	}
+	s := data.MustNewTable("S", "y", "z", "a")
+	for i := 0; i < 500; i++ {
+		s.AppendRow(rng.Int63n(40), rng.Int63n(30), rng.Int63n(100))
+	}
+	u := data.MustNewTable("T", "w", "b")
+	for i := 0; i < 300; i++ {
+		u.AppendRow(rng.Int63n(30), rng.Int63n(100))
+	}
+	cat.MustAdd(r)
+	cat.MustAdd(s)
+	cat.MustAdd(u)
+	e, err := query.Chain([]string{"R", "S", "T"}, []string{"x", "z"}, []string{"y", "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same connectivity-preserving join order with nested
+	// loops (build side left, probe side right), row at a time.
+	j1 := mustNestedLoop(t, NewTableScan(s), NewTableScan(r), JoinCond{LeftCol: "S.y", RightCol: "R.x"})
+	j2 := mustNestedLoop(t, NewTableScan(u), j1, JoinCond{LeftCol: "T.w", RightCol: "S.z"})
+	want := drain(t, j2)
+
+	for _, p := range []int{1, 2, 0} {
+		op, err := PlanBatch(cat, e, Options{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainBatches(t, op)
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d rows, want %d", p, len(got), len(want))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: batch plan output differs from nested-loop reference", p)
+		}
+	}
+
+	// Materialize through the batch pipeline must agree with a row-at-a-time
+	// materialization of the reference.
+	op, err := Plan(cat, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Materialize(op, "RST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Reset()
+	// NestedLoopJoin.Reset only rewinds the probe side; rebuild to be safe.
+	j1b := mustNestedLoop(t, NewTableScan(s), NewTableScan(r), JoinCond{LeftCol: "S.y", RightCol: "R.x"})
+	j2b := mustNestedLoop(t, NewTableScan(u), j1b, JoinCond{LeftCol: "T.w", RightCol: "S.z"})
+	ref := drain(t, j2b)
+	if tab.NumRows() != len(ref) {
+		t.Fatalf("materialized %d rows, want %d", tab.NumRows(), len(ref))
+	}
+	for c, name := range tab.ColumnNames() {
+		col := tab.MustColumn(name)
+		for i := range ref {
+			if col[i] != ref[i][c] {
+				t.Fatalf("materialized [%d][%s] = %d, want %d", i, name, col[i], ref[i][c])
+			}
+		}
+	}
+}
+
+// TestMaterializeRowOperator: Materialize still accepts arbitrary row
+// operators (not produced by Plan).
+func TestMaterializeRowOperator(t *testing.T) {
+	tab := makeTable(t, "R", []string{"x", "a"}, [][]int64{{1, 10}, {2, 20}, {3, 30}})
+	f, err := NewRangeFilter(NewTableScan(tab), "R.a", 15, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Materialize(f, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 || !out.HasColumn("R_a") {
+		t.Errorf("materialized: %d rows, cols %v", out.NumRows(), out.ColumnNames())
+	}
+}
+
+// TestRangeCardinalityOpts: the counting drain agrees with filtering.
+func TestRangeCardinalityOpts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cat := data.NewCatalog()
+	r := data.MustNewTable("R", "x")
+	for i := 0; i < 300; i++ {
+		r.AppendRow(rng.Int63n(25))
+	}
+	s := data.MustNewTable("S", "y", "a")
+	for i := 0; i < 400; i++ {
+		s.AppendRow(rng.Int63n(25), rng.Int63n(200))
+	}
+	cat.MustAdd(r)
+	cat.MustAdd(s)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	vals, err := AttrValues(cat, e, "S", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, v := range vals {
+		if v >= 50 && v <= 120 {
+			want++
+		}
+	}
+	for _, p := range []int{1, 2} {
+		got, err := RangeCardinalityOpts(cat, e, "S", "a", 50, 120, Options{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("parallelism %d: range cardinality = %d, want %d", p, got, want)
+		}
+	}
+	card, err := Cardinality(cat, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != int64(len(vals)) {
+		t.Errorf("cardinality = %d, want %d", card, len(vals))
+	}
+}

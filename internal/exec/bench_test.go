@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/query"
+)
+
+// benchJoinInputs builds a build side of nl rows and a probe side of nr rows
+// with join keys uniform in [0, domain), so the expected join output is
+// nl*nr/domain rows. The default benchmark sizing (100k x 100k over a 10k
+// domain) yields a ~1M-row output.
+func benchJoinInputs(nl, nr, domain int) (*data.Table, *data.Table) {
+	rng := rand.New(rand.NewSource(1))
+	r := data.MustNewTable("R", "x", "p")
+	r.Grow(nl)
+	for i := 0; i < nl; i++ {
+		r.AppendRow(rng.Int63n(int64(domain)), int64(i))
+	}
+	s := data.MustNewTable("S", "y", "q")
+	s.Grow(nr)
+	for i := 0; i < nr; i++ {
+		s.AppendRow(rng.Int63n(int64(domain)), int64(i))
+	}
+	return r, s
+}
+
+// seedHashJoin is the string-keyed map join this PR replaced, preserved
+// verbatim as the benchmark baseline.
+type seedHashJoin struct {
+	left, right Operator
+	lIdx, rIdx  []int
+	ncols       int
+
+	built   bool
+	ht      map[string][][]int64
+	pending [][]int64
+	current []int64
+	row     []int64
+}
+
+func newSeedHashJoin(left, right Operator, conds ...JoinCond) (*seedHashJoin, error) {
+	j := &seedHashJoin{left: left, right: right}
+	for _, c := range conds {
+		li, err := columnIndex(left.Columns(), c.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := columnIndex(right.Columns(), c.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		j.lIdx = append(j.lIdx, li)
+		j.rIdx = append(j.rIdx, ri)
+	}
+	j.ncols = len(left.Columns()) + len(right.Columns())
+	j.row = make([]int64, j.ncols)
+	return j, nil
+}
+
+func seedJoinKey(row []int64, idx []int) string {
+	buf := make([]byte, 0, len(idx)*8)
+	for _, i := range idx {
+		v := uint64(row[i])
+		buf = append(buf,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(buf)
+}
+
+func (j *seedHashJoin) Next() ([]int64, bool) {
+	if !j.built {
+		j.ht = make(map[string][][]int64)
+		for {
+			row, ok := j.left.Next()
+			if !ok {
+				break
+			}
+			cp := make([]int64, len(row))
+			copy(cp, row)
+			j.ht[seedJoinKey(cp, j.lIdx)] = append(j.ht[seedJoinKey(cp, j.lIdx)], cp)
+		}
+		j.built = true
+	}
+	for {
+		if len(j.pending) > 0 {
+			l := j.pending[0]
+			j.pending = j.pending[1:]
+			copy(j.row, l)
+			copy(j.row[len(l):], j.current)
+			return j.row, true
+		}
+		r, ok := j.right.Next()
+		if !ok {
+			return nil, false
+		}
+		matches := j.ht[seedJoinKey(r, j.rIdx)]
+		if len(matches) == 0 {
+			continue
+		}
+		if j.current == nil {
+			j.current = make([]int64, len(r))
+		}
+		copy(j.current, r)
+		j.pending = matches
+	}
+}
+
+// BenchmarkHashJoin measures a single equi-join producing ~1M output rows:
+// the seed string-keyed map join, the rewritten row HashJoin, and the
+// vectorized join at parallelism 1 and GOMAXPROCS. The acceptance bar for
+// this PR is new/seed >= 2x at parallelism 1.
+func BenchmarkHashJoin(b *testing.B) {
+	r, s := benchJoinInputs(100_000, 100_000, 10_000)
+	cond := JoinCond{LeftCol: "R.x", RightCol: "S.y"}
+
+	b.Run("seed-stringmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j, err := newSeedHashJoin(NewTableScan(r), NewTableScan(s), cond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rows int64
+			for {
+				if _, ok := j.Next(); !ok {
+					break
+				}
+				rows++
+			}
+			b.ReportMetric(float64(rows), "outrows")
+		}
+	})
+	b.Run("row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j, err := NewHashJoin(NewTableScan(r), NewTableScan(s), cond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rows int64
+			for {
+				if _, ok := j.Next(); !ok {
+					break
+				}
+				rows++
+			}
+			b.ReportMetric(float64(rows), "outrows")
+		}
+	})
+	for _, p := range []int{1, 0} {
+		name := "vec-parallel1"
+		if p == 0 {
+			name = "vec-parallelmax"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j, err := NewVecHashJoin(NewBatchScan(r), NewBatchScan(s), p, cond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rows int64
+				for {
+					batch, ok := j.NextBatch()
+					if !ok {
+						break
+					}
+					rows += int64(batch.NumRows())
+				}
+				b.ReportMetric(float64(rows), "outrows")
+			}
+		})
+	}
+}
+
+// benchCatalog is a 3-table chain for end-to-end plan benchmarks.
+func benchPlanCatalog() (*data.Catalog, *query.Expr) {
+	rng := rand.New(rand.NewSource(2))
+	cat := data.NewCatalog()
+	t1 := data.MustNewTable("T1", "jnext")
+	t1.Grow(20_000)
+	for i := 0; i < 20_000; i++ {
+		t1.AppendRow(rng.Int63n(2_000))
+	}
+	t2 := data.MustNewTable("T2", "jprev", "jnext")
+	t2.Grow(20_000)
+	for i := 0; i < 20_000; i++ {
+		t2.AppendRow(rng.Int63n(2_000), rng.Int63n(2_000))
+	}
+	t3 := data.MustNewTable("T3", "jprev", "a")
+	t3.Grow(20_000)
+	for i := 0; i < 20_000; i++ {
+		t3.AppendRow(rng.Int63n(2_000), rng.Int63n(500))
+	}
+	cat.MustAdd(t1)
+	cat.MustAdd(t2)
+	cat.MustAdd(t3)
+	e, err := query.Chain([]string{"T1", "T2", "T3"}, []string{"jnext", "jnext"}, []string{"jprev", "jprev"})
+	if err != nil {
+		panic(err)
+	}
+	return cat, e
+}
+
+// BenchmarkMaterialize measures the full batch pipeline — plan, join, and
+// bulk-append into a data.Table — for a 3-way chain join.
+func BenchmarkMaterialize(b *testing.B) {
+	cat, e := benchPlanCatalog()
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op, err := PlanBatch(cat, e, Options{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab, err := MaterializeBatch(op, "out")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(tab.NumRows()), "outrows")
+		}
+	})
+	b.Run("rowloop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op, err := PlanBatch(cat, e, Options{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := NewRows(op)
+			names := make([]string, len(rows.Columns()))
+			for c := range names {
+				names[c] = fmt.Sprintf("c%d", c)
+			}
+			tab := data.MustNewTable("out", names...)
+			for {
+				row, ok := rows.Next()
+				if !ok {
+					break
+				}
+				if err := tab.AppendRow(row...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tab.NumRows()), "outrows")
+		}
+	})
+}
+
+// BenchmarkAttrValues measures the value-vector drain that feeds SIT
+// creation.
+func BenchmarkAttrValues(b *testing.B) {
+	cat, e := benchPlanCatalog()
+	for i := 0; i < b.N; i++ {
+		vals, err := AttrValuesOpts(cat, e, "T3", "a", Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(vals)), "vals")
+	}
+}

@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// joinTable is the shared hash-join core behind HashJoin and VecHashJoin.
+//
+// Build rows live in a flat row-major arena ([]int64 with a fixed stride =
+// number of build columns), so the build phase performs zero per-row slice
+// allocations: appending a batch grows one slice. Lookup is an open-addressing
+// table with linear probing over power-of-two slot arrays. Each claimed slot
+// holds a 64-bit slot key — the raw attribute value for single-condition joins
+// (exact, no verification needed) or a 64-bit mix of the condition columns for
+// multi-condition joins (verified against the arena on probe) — plus the head
+// and tail of the chain of build rows sharing that slot key. Chains thread
+// through a per-row next array in insertion order, so probes emit matches in
+// build-input order: the executor's output is byte-identical to the row-at-a-
+// time executor it replaces, at every parallelism level.
+//
+// The build side is partitioned by high hash bits across workers: every
+// partition owns a private slot array, so insertion needs no locks, and a
+// probe key's partition is a pure function of its hash, so lookups stay
+// lock-free too.
+type joinTable struct {
+	stride int   // arena row width (number of build columns)
+	keyIdx []int // key column offsets within an arena row
+	single bool  // one join condition: slot keys are raw values
+
+	arena []int64 // row-major build rows
+	rows  int
+
+	next  []int32 // chain links, 1-based; 0 terminates
+	parts []jtPart
+}
+
+// jtPart is one hash partition: an open-addressing slot array.
+type jtPart struct {
+	mask uint64
+	key  []uint64 // slot key; meaningful only where head != 0
+	head []int32  // 1-based first build row of the slot's chain; 0 = empty
+	tail []int32  // 1-based last build row of the slot's chain
+}
+
+func newJoinTable(stride int, keyIdx []int) *joinTable {
+	return &joinTable{stride: stride, keyIdx: keyIdx, single: len(keyIdx) == 1}
+}
+
+// mix64 is the 64-bit finalizer of MurmurHash3: a cheap, high-quality mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+const hashSeed = 0x9e3779b97f4a7c15 // golden-ratio increment, splitmix64 style
+
+// hashVals mixes a multi-condition key tuple into 64 bits.
+func hashVals(vals []int64) uint64 {
+	h := uint64(len(vals))
+	for _, v := range vals {
+		h = mix64(h ^ (uint64(v) * hashSeed))
+	}
+	return h
+}
+
+// grow extends the arena by n values without the temporary slice an
+// append(make(...)) would allocate.
+func (t *joinTable) grow(n int) []int64 {
+	need := len(t.arena) + n
+	if cap(t.arena) < need {
+		newCap := 2 * cap(t.arena)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		grown := make([]int64, len(t.arena), newCap)
+		copy(grown, t.arena)
+		t.arena = grown
+	}
+	t.arena = t.arena[:need]
+	return t.arena[need-n:]
+}
+
+// appendRow copies one build row into the arena.
+func (t *joinTable) appendRow(row []int64) {
+	copy(t.grow(t.stride), row)
+	t.rows++
+}
+
+// appendBatch transposes a column batch into the arena (row-major), applying
+// the batch's selection vector.
+func (t *joinTable) appendBatch(b *Batch) {
+	n := b.NumRows()
+	if n == 0 {
+		return
+	}
+	dst := t.grow(n * t.stride)
+	for ci, col := range b.Cols {
+		if b.Sel != nil {
+			for i, r := range b.Sel {
+				dst[i*t.stride+ci] = col[r]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i*t.stride+ci] = col[i]
+			}
+		}
+	}
+	t.rows += n
+}
+
+// slotKeyHash returns build row i's slot key and hash.
+func (t *joinTable) slotKeyHash(i int) (uint64, uint64) {
+	row := t.arena[i*t.stride : (i+1)*t.stride]
+	if t.single {
+		v := uint64(row[t.keyIdx[0]])
+		return v, mix64(v)
+	}
+	h := uint64(len(t.keyIdx))
+	for _, k := range t.keyIdx {
+		h = mix64(h ^ (uint64(row[k]) * hashSeed))
+	}
+	return h, h
+}
+
+// probeKeyHash returns the slot key and hash for a probe-side key tuple.
+func (t *joinTable) probeKeyHash(vals []int64) (uint64, uint64) {
+	if t.single {
+		v := uint64(vals[0])
+		return v, mix64(v)
+	}
+	h := hashVals(vals)
+	return h, h
+}
+
+// partOf maps a hash to its partition via a multiply-shift on the high 32
+// bits; the slot index uses the low bits, so the two stay uncorrelated.
+func (t *joinTable) partOf(h uint64) int {
+	if len(t.parts) == 1 {
+		return 0
+	}
+	return int((h >> 32) * uint64(len(t.parts)) >> 32)
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (p *jtPart) init(count int) {
+	size := nextPow2(2 * count)
+	if size < 8 {
+		size = 8
+	}
+	p.mask = uint64(size - 1)
+	p.key = make([]uint64, size)
+	p.head = make([]int32, size)
+	p.tail = make([]int32, size)
+}
+
+// insert links build row r (0-based) into the partition. Chains grow at the
+// tail, so they preserve build-input order. Slot arrays are sized to load
+// factor <= 1/2, so linear probing always terminates.
+func (p *jtPart) insert(r int32, key, h uint64, next []int32) {
+	slot := h & p.mask
+	for {
+		if p.head[slot] == 0 {
+			p.key[slot] = key
+			p.head[slot] = r + 1
+			p.tail[slot] = r + 1
+			return
+		}
+		if p.key[slot] == key {
+			next[p.tail[slot]-1] = r + 1
+			p.tail[slot] = r + 1
+			return
+		}
+		slot = (slot + 1) & p.mask
+	}
+}
+
+// resolveWorkers maps the executor parallelism knob to a worker count:
+// 0 = GOMAXPROCS, n = exactly n.
+func resolveWorkers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// buildMinRowsPerWorker keeps tiny build sides on one worker: below this many
+// rows per partition the fan-out costs more than it saves.
+const buildMinRowsPerWorker = 4096
+
+// build hashes every arena row and constructs the partitioned table using up
+// to `parallelism` workers (0 = GOMAXPROCS). The result is independent of the
+// worker count: partitioning is a pure function of the key hash, and each
+// partition inserts its rows in ascending arena order either way.
+func (t *joinTable) build(parallelism int) {
+	n := t.rows
+	t.next = make([]int32, n)
+	workers := resolveWorkers(parallelism)
+	if workers > n/buildMinRowsPerWorker {
+		workers = n / buildMinRowsPerWorker
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	keys := make([]uint64, n)
+	hs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		keys[i], hs[i] = t.slotKeyHash(i)
+	}
+
+	if workers == 1 {
+		t.parts = make([]jtPart, 1)
+		t.parts[0].init(n)
+		p := &t.parts[0]
+		for i := 0; i < n; i++ {
+			p.insert(int32(i), keys[i], hs[i], t.next)
+		}
+		return
+	}
+
+	// Partition rows by high hash bits, then build each partition's slot
+	// array on its own worker. order[] groups row indices by partition while
+	// preserving ascending order within each partition, so chains come out in
+	// build-input order exactly as in the serial build.
+	t.parts = make([]jtPart, workers)
+	pid := make([]int32, n)
+	counts := make([]int32, workers)
+	for i := 0; i < n; i++ {
+		p := int32((hs[i] >> 32) * uint64(workers) >> 32)
+		pid[i] = p
+		counts[p]++
+	}
+	offsets := make([]int32, workers+1)
+	for p := 0; p < workers; p++ {
+		offsets[p+1] = offsets[p] + counts[p]
+	}
+	order := make([]int32, n)
+	cursor := append([]int32(nil), offsets[:workers]...)
+	for i := 0; i < n; i++ {
+		order[cursor[pid[i]]] = int32(i)
+		cursor[pid[i]]++
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &t.parts[w]
+			p.init(int(counts[w]))
+			for _, i := range order[offsets[w]:offsets[w+1]] {
+				p.insert(i, keys[i], hs[i], t.next)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probeHead returns the 1-based head of the chain whose slot key matches, or
+// 0 when the key is absent. For multi-condition joins the caller must verify
+// each chain row with matches (slot keys are hashes there).
+func (t *joinTable) probeHead(key, h uint64) int32 {
+	p := &t.parts[t.partOf(h)]
+	slot := h & p.mask
+	for {
+		hd := p.head[slot]
+		if hd == 0 {
+			return 0
+		}
+		if p.key[slot] == key {
+			return hd
+		}
+		slot = (slot + 1) & p.mask
+	}
+}
+
+// chainNext returns the chain successor of 1-based build row r (0 = end).
+func (t *joinTable) chainNext(r int32) int32 { return t.next[r-1] }
+
+// buildRow returns the arena slice of 1-based build row r.
+func (t *joinTable) buildRow(r int32) []int64 {
+	off := int(r-1) * t.stride
+	return t.arena[off : off+t.stride]
+}
+
+// matches verifies a chain row's key columns against the probe tuple; only
+// needed for multi-condition joins, where distinct tuples can share a mixed
+// slot key.
+func (t *joinTable) matches(r int32, vals []int64) bool {
+	row := t.buildRow(r)
+	for i, k := range t.keyIdx {
+		if row[k] != vals[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -8,9 +8,30 @@ import (
 	"github.com/sitstats/sits/internal/query"
 )
 
+// Options parameterizes plan execution.
+type Options struct {
+	// Parallelism bounds the hash-join build worker count: 0 uses GOMAXPROCS,
+	// 1 builds serially, n > 1 uses at most n workers. Join results (and
+	// therefore all derived quantities) are identical at every level.
+	Parallelism int
+	// BatchSize overrides the rows-per-batch granularity (0 = DefaultBatchSize).
+	BatchSize int
+}
+
 // Materialize drains an operator into a table named name. Qualified column
-// names ("R.x") become "R_x" in the result.
+// names ("R.x") become "R_x" in the result. Rows are buffered column-wise and
+// flushed through the table's bulk-append API.
 func Materialize(op Operator, name string) (*data.Table, error) {
+	if r, ok := op.(*Rows); ok {
+		// The row view of a batch pipeline: drain the batches directly.
+		return MaterializeBatch(r.in, name)
+	}
+	return MaterializeBatch(NewBatches(op), name)
+}
+
+// MaterializeBatch drains a batch operator into a table named name,
+// bulk-appending each batch (one copy per column per batch).
+func MaterializeBatch(op BatchOperator, name string) (*data.Table, error) {
 	cols := make([]string, len(op.Columns()))
 	for i, c := range op.Columns() {
 		cols[i] = strings.ReplaceAll(c, ".", "_")
@@ -19,30 +40,54 @@ func Materialize(op Operator, name string) (*data.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	scratch := make([][]int64, len(cols))
 	for {
-		row, ok := op.Next()
+		b, ok := op.NextBatch()
 		if !ok {
 			break
 		}
-		if err := t.AppendRow(row...); err != nil {
+		out := b.Cols
+		if b.Sel != nil {
+			// Compact selected rows into reusable scratch columns.
+			for i, c := range b.Cols {
+				s := scratch[i][:0]
+				for _, r := range b.Sel {
+					s = append(s, c[r])
+				}
+				scratch[i] = s
+			}
+			out = scratch
+		}
+		t.Grow(len(out[0]))
+		if err := t.AppendBatch(out); err != nil {
 			return nil, err
 		}
 	}
 	return t, nil
 }
 
-// Plan builds an operator tree evaluating the generating expression with hash
-// joins: tables are joined in a connectivity-preserving order starting from
-// the expression's first table, so every join has at least one applicable
-// predicate. Output columns are qualified names ("R.x").
+// Plan builds an operator tree evaluating the generating expression and
+// returns its row view; see PlanBatch for the underlying vectorized pipeline.
 func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
+	op, err := PlanBatch(cat, e, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return NewRows(op), nil
+}
+
+// PlanBatch builds a vectorized operator tree evaluating the generating
+// expression with hash joins: tables are joined in a connectivity-preserving
+// order starting from the expression's first table, so every join has at
+// least one applicable predicate. Output columns are qualified names ("R.x").
+func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, error) {
 	tables := e.Tables()
 	if len(tables) == 1 {
 		t, err := cat.Table(tables[0])
 		if err != nil {
 			return nil, err
 		}
-		return NewTableScan(t), nil
+		return NewBatchScanSize(t, opts.BatchSize), nil
 	}
 	joined := map[string]bool{}
 	remaining := append([]query.JoinPred(nil), e.Joins()...)
@@ -51,7 +96,7 @@ func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	var root Operator = NewTableScan(first)
+	var root BatchOperator = NewBatchScanSize(first, opts.BatchSize)
 	joined[tables[0]] = true
 
 	for len(remaining) > 0 {
@@ -80,7 +125,8 @@ func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
 				}
 				// Build on the new base table, probe with the accumulated
 				// intermediate result.
-				j, err := NewHashJoin(NewTableScan(t), root, JoinCond{LeftCol: buildCol, RightCol: probeCol})
+				j, err := NewVecHashJoin(NewBatchScanSize(t, opts.BatchSize), root, opts.Parallelism,
+					JoinCond{LeftCol: buildCol, RightCol: probeCol})
 				if err != nil {
 					return nil, err
 				}
@@ -100,7 +146,7 @@ func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
 	return root, nil
 }
 
-func equalityFilter(in Operator, colA, colB string) (Operator, error) {
+func equalityFilter(in BatchOperator, colA, colB string) (BatchOperator, error) {
 	ia, err := columnIndex(in.Columns(), colA)
 	if err != nil {
 		return nil, err
@@ -109,7 +155,7 @@ func equalityFilter(in Operator, colA, colB string) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewFilter(in, func(row []int64) bool { return row[ia] == row[ib] }), nil
+	return NewBatchFilter(in, func(cols [][]int64, r int) bool { return cols[ia][r] == cols[ib][r] }), nil
 }
 
 // AttrValues evaluates the generating expression and returns the values of
@@ -117,56 +163,94 @@ func equalityFilter(in Operator, colA, colB string) (Operator, error) {
 // approximates. This is the ground truth used by the accuracy experiments and
 // by SweepExact's reference tests.
 func AttrValues(cat *data.Catalog, e *query.Expr, table, attr string) ([]int64, error) {
-	op, err := Plan(cat, e)
+	return AttrValuesOpts(cat, e, table, attr, Options{})
+}
+
+// AttrValuesOpts is AttrValues with explicit execution options.
+func AttrValuesOpts(cat *data.Catalog, e *query.Expr, table, attr string, opts Options) ([]int64, error) {
+	op, err := PlanBatch(cat, e, opts)
 	if err != nil {
 		return nil, err
 	}
-	col := table + "." + attr
-	idx, err := columnIndex(op.Columns(), col)
+	idx, err := columnIndex(op.Columns(), table+"."+attr)
 	if err != nil {
 		return nil, err
 	}
 	var out []int64
 	for {
-		row, ok := op.Next()
+		b, ok := op.NextBatch()
 		if !ok {
 			break
 		}
-		out = append(out, row[idx])
+		col := b.Cols[idx]
+		if b.Sel == nil {
+			out = append(out, col...)
+		} else {
+			for _, r := range b.Sel {
+				out = append(out, col[r])
+			}
+		}
 	}
 	return out, nil
 }
 
 // Cardinality evaluates the expression and counts result rows.
 func Cardinality(cat *data.Catalog, e *query.Expr) (int64, error) {
-	op, err := Plan(cat, e)
+	return CardinalityOpts(cat, e, Options{})
+}
+
+// CardinalityOpts is Cardinality with explicit execution options.
+func CardinalityOpts(cat *data.Catalog, e *query.Expr, opts Options) (int64, error) {
+	op, err := PlanBatch(cat, e, opts)
 	if err != nil {
 		return 0, err
 	}
 	var n int64
 	for {
-		if _, ok := op.Next(); !ok {
+		b, ok := op.NextBatch()
+		if !ok {
 			return n, nil
 		}
-		n++
+		n += int64(b.NumRows())
 	}
 }
 
 // RangeCardinality evaluates |sigma_{lo <= table.attr <= hi}(Q)| exactly.
 func RangeCardinality(cat *data.Catalog, e *query.Expr, table, attr string, lo, hi int64) (int64, error) {
-	op, err := Plan(cat, e)
+	return RangeCardinalityOpts(cat, e, table, attr, lo, hi, Options{})
+}
+
+// RangeCardinalityOpts is RangeCardinality with explicit execution options.
+// The range predicate is counted directly over the target column of each
+// batch — no filter operator, no selection vector, no row materialization.
+func RangeCardinalityOpts(cat *data.Catalog, e *query.Expr, table, attr string, lo, hi int64, opts Options) (int64, error) {
+	op, err := PlanBatch(cat, e, opts)
 	if err != nil {
 		return 0, err
 	}
-	f, err := NewRangeFilter(op, table+"."+attr, lo, hi)
+	idx, err := columnIndex(op.Columns(), table+"."+attr)
 	if err != nil {
 		return 0, err
 	}
 	var n int64
 	for {
-		if _, ok := f.Next(); !ok {
+		b, ok := op.NextBatch()
+		if !ok {
 			return n, nil
 		}
-		n++
+		col := b.Cols[idx]
+		if b.Sel == nil {
+			for _, v := range col {
+				if v >= lo && v <= hi {
+					n++
+				}
+			}
+		} else {
+			for _, r := range b.Sel {
+				if v := col[r]; v >= lo && v <= hi {
+					n++
+				}
+			}
+		}
 	}
 }

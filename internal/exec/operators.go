@@ -168,18 +168,22 @@ type JoinCond struct {
 
 // HashJoin is an in-memory equi-join: it builds a hash table on the left
 // input keyed by the join columns and streams the right input, emitting the
-// concatenation left-row ++ right-row for every match.
+// concatenation left-row ++ right-row for every match. The build side lives
+// in a flat arena behind an open-addressing table (see joinTable): the build
+// phase performs no per-row allocation, and single-condition joins key
+// directly on the raw int64 value.
 type HashJoin struct {
 	left, right Operator
 	conds       []JoinCond
 	lIdx, rIdx  []int
 	cols        []string
 
-	built   bool
-	ht      map[string][][]int64
-	pending [][]int64 // remaining matches for the current right row
-	current []int64   // copy of current right row
-	row     []int64
+	built     bool
+	jt        *joinTable
+	chain     int32   // next chain row to emit (1-based, 0 = none)
+	probeVals []int64 // key tuple of the in-flight probe row
+	current   []int64 // copy of the in-flight right row
+	row       []int64
 }
 
 // NewHashJoin joins left and right on the conjunction of conds.
@@ -202,33 +206,21 @@ func NewHashJoin(left, right Operator, conds ...JoinCond) (*HashJoin, error) {
 	}
 	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
 	j.row = make([]int64, len(j.cols))
+	j.probeVals = make([]int64, len(conds))
+	j.current = make([]int64, len(right.Columns()))
 	return j, nil
 }
 
-func joinKey(row []int64, idx []int) string {
-	// Fixed-width binary key: fast and collision-free.
-	buf := make([]byte, 0, len(idx)*8)
-	for _, i := range idx {
-		v := uint64(row[i])
-		buf = append(buf,
-			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
-			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
-	}
-	return string(buf)
-}
-
 func (j *HashJoin) build() {
-	j.ht = make(map[string][][]int64)
+	j.jt = newJoinTable(len(j.left.Columns()), j.lIdx)
 	for {
 		row, ok := j.left.Next()
 		if !ok {
 			break
 		}
-		cp := make([]int64, len(row))
-		copy(cp, row)
-		k := joinKey(cp, j.lIdx)
-		j.ht[k] = append(j.ht[k], cp)
+		j.jt.appendRow(row)
 	}
+	j.jt.build(1)
 	j.built = true
 }
 
@@ -241,33 +233,33 @@ func (j *HashJoin) Next() ([]int64, bool) {
 		j.build()
 	}
 	for {
-		if len(j.pending) > 0 {
-			l := j.pending[0]
-			j.pending = j.pending[1:]
-			copy(j.row, l)
-			copy(j.row[len(l):], j.current)
+		for j.chain != 0 {
+			r := j.chain
+			j.chain = j.jt.chainNext(r)
+			if !j.jt.single && !j.jt.matches(r, j.probeVals) {
+				continue
+			}
+			copy(j.row, j.jt.buildRow(r))
+			copy(j.row[j.jt.stride:], j.current)
 			return j.row, true
 		}
 		r, ok := j.right.Next()
 		if !ok {
 			return nil, false
 		}
-		matches := j.ht[joinKey(r, j.rIdx)]
-		if len(matches) == 0 {
-			continue
-		}
-		if j.current == nil {
-			j.current = make([]int64, len(r))
-		}
 		copy(j.current, r)
-		j.pending = matches
+		for i, c := range j.rIdx {
+			j.probeVals[i] = r[c]
+		}
+		key, h := j.jt.probeKeyHash(j.probeVals)
+		j.chain = j.jt.probeHead(key, h)
 	}
 }
 
 // Reset implements Operator.
 func (j *HashJoin) Reset() {
 	j.right.Reset()
-	j.pending = nil
+	j.chain = 0
 	// The hash table is retained; only the probe side rewinds.
 }
 

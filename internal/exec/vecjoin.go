@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"fmt"
+)
+
+// VecHashJoin is the vectorized equi-join: it drains the left (build) input
+// batch-wise into a joinTable — flat arena, open-addressing slots, build
+// partitioned by hash across workers — and streams the right (probe) input,
+// emitting concatenated left-row ++ right-row matches as column batches.
+// Matches are emitted per probe row in build-input order, so the output row
+// sequence equals the row-at-a-time HashJoin's at every parallelism level.
+type VecHashJoin struct {
+	left, right BatchOperator
+	conds       []JoinCond
+	lIdx, rIdx  []int
+	cols        []string
+	parallelism int
+	size        int
+
+	built bool
+	jt    *joinTable
+
+	// Probe state, persisted across NextBatch calls so a long match chain can
+	// span several output batches.
+	rb        *Batch  // current right batch
+	rpos      int     // logical position within rb
+	rrow      int     // physical row of the in-flight probe
+	chain     int32   // next chain row to emit (1-based, 0 = none)
+	probeVals []int64 // key tuple of the in-flight probe row
+
+	out  Batch
+	bufs [][]int64
+}
+
+// NewVecHashJoin joins left and right on the conjunction of conds, building
+// the hash table with up to `parallelism` workers (0 = GOMAXPROCS, 1 =
+// serial). The join result is identical at every parallelism level.
+func NewVecHashJoin(left, right BatchOperator, parallelism int, conds ...JoinCond) (*VecHashJoin, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("exec: hash join needs at least one condition")
+	}
+	j := &VecHashJoin{
+		left:        left,
+		right:       right,
+		conds:       conds,
+		parallelism: parallelism,
+		size:        DefaultBatchSize,
+	}
+	for _, c := range conds {
+		li, err := columnIndex(left.Columns(), c.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := columnIndex(right.Columns(), c.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		j.lIdx = append(j.lIdx, li)
+		j.rIdx = append(j.rIdx, ri)
+	}
+	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	j.probeVals = make([]int64, len(conds))
+	j.bufs = make([][]int64, len(j.cols))
+	for i := range j.bufs {
+		j.bufs[i] = make([]int64, 0, j.size)
+	}
+	j.out.Cols = make([][]int64, len(j.cols))
+	return j, nil
+}
+
+// Columns implements BatchOperator.
+func (j *VecHashJoin) Columns() []string { return j.cols }
+
+func (j *VecHashJoin) build() {
+	j.jt = newJoinTable(len(j.left.Columns()), j.lIdx)
+	for {
+		b, ok := j.left.NextBatch()
+		if !ok {
+			break
+		}
+		j.jt.appendBatch(b)
+	}
+	j.jt.build(j.parallelism)
+	j.built = true
+}
+
+// NextBatch implements BatchOperator. Returned batches hold up to
+// DefaultBatchSize result rows and are reused across calls.
+func (j *VecHashJoin) NextBatch() (*Batch, bool) {
+	if !j.built {
+		j.build()
+	}
+	nl := j.jt.stride
+	for i := range j.bufs {
+		j.bufs[i] = j.bufs[i][:0]
+	}
+	emitted := 0
+	for {
+		// Drain the in-flight chain first.
+		for j.chain != 0 {
+			r := j.chain
+			j.chain = j.jt.chainNext(r)
+			if !j.jt.single && !j.jt.matches(r, j.probeVals) {
+				continue
+			}
+			row := j.jt.buildRow(r)
+			for i := 0; i < nl; i++ {
+				j.bufs[i] = append(j.bufs[i], row[i])
+			}
+			for i, c := range j.rb.Cols {
+				j.bufs[nl+i] = append(j.bufs[nl+i], c[j.rrow])
+			}
+			emitted++
+			if emitted >= j.size {
+				return j.flush(), true
+			}
+		}
+		// Advance to the next probe row, pulling right batches as needed.
+		if j.rb == nil || j.rpos >= j.rb.NumRows() {
+			rb, ok := j.right.NextBatch()
+			if !ok {
+				j.rb = nil
+				if emitted > 0 {
+					return j.flush(), true
+				}
+				return nil, false
+			}
+			j.rb, j.rpos = rb, 0
+			continue
+		}
+		r := j.rpos
+		if j.rb.Sel != nil {
+			r = int(j.rb.Sel[j.rpos])
+		}
+		j.rpos++
+		j.rrow = r
+		for i, c := range j.rIdx {
+			j.probeVals[i] = j.rb.Cols[c][r]
+		}
+		key, h := j.jt.probeKeyHash(j.probeVals)
+		j.chain = j.jt.probeHead(key, h)
+	}
+}
+
+func (j *VecHashJoin) flush() *Batch {
+	copy(j.out.Cols, j.bufs)
+	j.out.Sel = nil
+	return &j.out
+}
+
+// Reset implements BatchOperator: the hash table is retained and only the
+// probe side rewinds, matching HashJoin's contract.
+func (j *VecHashJoin) Reset() {
+	j.right.Reset()
+	j.rb, j.rpos, j.chain = nil, 0, 0
+}

@@ -65,7 +65,8 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 	if err != nil {
 		return nil, err
 	}
-	truthVals, err := exec.AttrValues(cat, spec.Expr, spec.Table, spec.Attr)
+	truthVals, err := exec.AttrValuesOpts(cat, spec.Expr, spec.Table, spec.Attr,
+		exec.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

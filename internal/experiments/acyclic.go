@@ -71,7 +71,8 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 	if err != nil {
 		return nil, err
 	}
-	truthVals, err := exec.AttrValues(cat, expr, "F", "a")
+	truthVals, err := exec.AttrValuesOpts(cat, expr, "F", "a",
+		exec.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -136,7 +136,8 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		if err != nil {
 			return err
 		}
-		truthVals, err := exec.AttrValues(cat, spec.Expr, spec.Table, spec.Attr)
+		truthVals, err := exec.AttrValuesOpts(cat, spec.Expr, spec.Table, spec.Attr,
+			exec.Options{Parallelism: cfg.Parallelism})
 		if err != nil {
 			return err
 		}

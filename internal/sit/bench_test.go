@@ -85,6 +85,41 @@ func BenchmarkSharedScan(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepFull is the end-to-end SIT-creation path: Builder.Build with
+// the exact full-scan technique, including the vectorized materialization of
+// the generating query's value vector. The SIT cache is invalidated between
+// iterations so every iteration rebuilds; base histograms and indexes stay
+// cached as in steady-state use.
+func BenchmarkSweepFull(b *testing.B) {
+	const rows = 200000
+	cat := benchCatalog(b, rows)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	spec, err := query.NewSITSpec("S", "a1", e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2} {
+		b.Run(fmt.Sprintf("parallel=%d", p), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = p
+			builder, err := NewBuilder(cat, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := builder.Build(spec, SweepFull); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				builder.InvalidateCache()
+				if _, err := builder.Build(spec, SweepFull); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSharedScanExact exercises the per-chunk fork/merge path of the
 // exact consumers (SweepFull), whose aggregation is the heaviest per-row work.
 func BenchmarkSharedScanExact(b *testing.B) {

@@ -284,7 +284,8 @@ func (b *Builder) newConsumer(table string, m Method) (consumer, error) {
 // materializeSIT executes the generating query with the executor and builds
 // the histogram over the actual attribute values: the ground-truth SIT.
 func (b *Builder) materializeSIT(spec query.SITSpec, nb int) (*SIT, error) {
-	vals, err := exec.AttrValues(b.cat, spec.Expr, spec.Table, spec.Attr)
+	vals, err := exec.AttrValuesOpts(b.cat, spec.Expr, spec.Table, spec.Attr,
+		exec.Options{Parallelism: b.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
