@@ -33,16 +33,17 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
 		truth    = flag.Bool("truth", false, "also execute the query for the exact cardinality")
 		parallel = flag.Int("parallel", 0, "shared-scan worker count for -build (0 = all CPUs, 1 = serial/reproducible)")
+		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *predStr, *builds, *method, *sitsFile, *saveFile, *csvDir, *truth, *parallel, *seed); err != nil {
+	if err := run(*queryStr, *predStr, *builds, *method, *sitsFile, *saveFile, *csvDir, *truth, *parallel, *batch, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "estimate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir string, truth bool, parallel int, seed int64) error {
+func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir string, truth bool, parallel, batch int, seed int64) error {
 	if queryStr == "" {
 		return fmt.Errorf("missing -query")
 	}
@@ -61,6 +62,7 @@ func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir strin
 	cfg := sits.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
+	cfg.BatchSize = batch
 	builder, err := sits.NewBuilder(cat, cfg)
 	if err != nil {
 		return err

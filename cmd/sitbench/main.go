@@ -35,17 +35,18 @@ func main() {
 		hybridMS  = flag.Int("hybrid-ms", 1000, "Hybrid's A* budget in milliseconds (paper: 1000)")
 		optCap    = flag.Int("opt-cap", 2000000, "abort Opt after this many A* expansions (0 = unlimited); capped instances count as failures")
 		parallel  = flag.Int("parallel", 0, "worker count for experiment cells and shared scans (0 = all CPUs, 1 = serial/reproducible)")
+		batch     = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		seed      = flag.Int64("seed", 11, "random seed")
 	)
 	flag.Parse()
-	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *seed); err != nil {
+	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *batch, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitbench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, tables int,
-	memory float64, hybridMS, optCap, parallel int, seed int64) error {
+	memory float64, hybridMS, optCap, parallel, batch int, seed int64) error {
 
 	schedCfg := experiments.DefaultSchedConfig()
 	schedCfg.Instances = instances
@@ -66,6 +67,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Queries = queries
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
+		cfg.BatchSize = batch
 		if buckets != "" {
 			var err error
 			cfg.Buckets, err = parseInts(buckets)
@@ -92,6 +94,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Queries = queries
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
+		cfg.BatchSize = batch
 		fmt.Println("== Section 5.1 (prose): uniform, independent join attributes ==")
 		res, err := experiments.RunFigure7(cfg)
 		if err != nil {
@@ -152,6 +155,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Queries = queries
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
+		cfg.BatchSize = batch
 		cells, err := experiments.RunHistogramAblation(cfg)
 		if err != nil {
 			return err
@@ -168,6 +172,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Queries = queries
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
+		cfg.BatchSize = batch
 		cells, err := experiments.RunAcyclic(cfg)
 		if err != nil {
 			return err

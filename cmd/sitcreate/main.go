@@ -34,16 +34,17 @@ func main() {
 		verify   = flag.Bool("verify", false, "execute the generating query and score the SIT's accuracy")
 		queries  = flag.Int("queries", 1000, "range queries used by -verify")
 		parallel = flag.Int("parallel", 0, "shared-scan worker count (0 = all CPUs, 1 = serial/reproducible)")
+		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *parallel, *seed); err != nil {
+	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *parallel, *batch, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitcreate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries, parallel int, seed int64) error {
+func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries, parallel, batch int, seed int64) error {
 	if sitSpec == "" {
 		return fmt.Errorf("missing -sit (e.g. -sit \"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev\")")
 	}
@@ -64,6 +65,7 @@ func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, v
 	cfg.SampleRate = rate
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
+	cfg.BatchSize = batch
 	b, err := sits.NewBuilder(cat, cfg)
 	if err != nil {
 		return err

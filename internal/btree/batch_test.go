@@ -1,0 +1,54 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestCountsSortedMatchesCount: the leaf-chain batch lookup must agree with
+// one Count call per key, including keys absent from the tree, keys below the
+// minimum and past the maximum, and duplicate probe runs.
+func TestCountsSortedMatchesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := trial * 37 // includes the empty tree
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000) - 500
+		}
+		tr := Build(vals)
+		probes := make([]int64, 400)
+		for i := range probes {
+			// Wider domain than the tree, so probes fall off both ends.
+			probes[i] = rng.Int63n(2000) - 1000
+		}
+		sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+		out := make([]int64, len(probes))
+		tr.CountsSorted(probes, out)
+		for i, k := range probes {
+			if want := tr.Count(k); out[i] != want {
+				t.Fatalf("trial %d: CountsSorted(%d) = %d, Count = %d", trial, k, out[i], want)
+			}
+		}
+	}
+}
+
+// TestCountsSortedSparseJumps probes with large gaps between consecutive
+// keys, forcing the cursor's re-descent path rather than leaf-chain hops.
+func TestCountsSortedSparseJumps(t *testing.T) {
+	var vals []int64
+	for i := int64(0); i < 5000; i++ {
+		vals = append(vals, i*3)
+	}
+	tr := Build(vals)
+	probes := []int64{-100, 0, 0, 1, 2999, 3000, 3000, 7500, 7502, 14997, 14998, 20000}
+	out := make([]int64, len(probes))
+	tr.CountsSorted(probes, out)
+	for i, k := range probes {
+		if want := tr.Count(k); out[i] != want {
+			t.Fatalf("CountsSorted(%d) = %d, Count = %d", k, out[i], want)
+		}
+	}
+	tr.CountsSorted(nil, nil) // must not panic
+}

@@ -222,6 +222,59 @@ func (t *Tree) InsertCount(key int64, count int64) {
 // lookup SweepIndex issues per scanned tuple.
 func (t *Tree) Count(key int64) int64 { return t.root.count(key) }
 
+// leafFor returns the leaf whose key space covers key.
+func (t *Tree) leafFor(key int64) *leaf {
+	switch r := t.root.(type) {
+	case *inner:
+		return r.leafFor(key)
+	case *leaf:
+		return r
+	}
+	return nil
+}
+
+// CountsSorted fills out[i] = Count(keys[i]) for an ascending keys slice —
+// the batched form of SweepIndex's multiplicity lookup. A leaf cursor follows
+// the probes along the linked leaf chain: consecutive keys landing in the
+// same or the next leaf cost a binary search within that leaf instead of a
+// root-to-leaf descent, and the tree is only re-descended when a probe jumps
+// past the next leaf. Duplicate keys reuse the preceding answer.
+func (t *Tree) CountsSorted(keys []int64, out []int64) {
+	if len(keys) == 0 {
+		return
+	}
+	cur := t.leafFor(keys[0])
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			out[i] = out[i-1]
+			continue
+		}
+		for cur != nil && (len(cur.keys) == 0 || k > cur.keys[len(cur.keys)-1]) {
+			nxt := cur.next
+			if nxt == nil {
+				cur = nil
+				break
+			}
+			if len(nxt.keys) > 0 && k > nxt.keys[len(nxt.keys)-1] {
+				// Probe jumps past the neighbouring leaf: descend once.
+				cur = t.leafFor(k)
+				break
+			}
+			cur = nxt
+		}
+		if cur == nil {
+			out[i] = 0
+			continue
+		}
+		j := sort.Search(len(cur.keys), func(j int) bool { return cur.keys[j] >= k })
+		if j < len(cur.keys) && cur.keys[j] == k {
+			out[i] = cur.counts[j]
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
 // CountRange returns the number of occurrences with lo <= key <= hi.
 func (t *Tree) CountRange(lo, hi int64) int64 {
 	if hi < lo {

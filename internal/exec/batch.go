@@ -16,6 +16,40 @@ import (
 // of int64 columns resident in L1/L2 while amortizing per-batch dispatch.
 const DefaultBatchSize = 1024
 
+// MinBatchSize is the smallest batch size AdaptiveBatchSize will pick: below
+// this, per-batch dispatch overhead dominates any cache-residency win.
+const MinBatchSize = 64
+
+// batchBytesTarget is the working-set budget AdaptiveBatchSize aims for: one
+// batch of all columns should fit comfortably inside a 256 KiB+ L2 alongside
+// the consumer's own state.
+const batchBytesTarget = 128 << 10
+
+// AdaptiveBatchSize picks a batch size from the number of int64 columns an
+// operator emits, so wide join outputs stay inside L2 instead of streaming
+// through it. Plans of up to 16 columns keep DefaultBatchSize (1024 rows x 16
+// cols x 8 B = the 128 KiB target), so narrow pipelines are unaffected; wider
+// outputs shrink to the next lower power of two, floored at MinBatchSize.
+func AdaptiveBatchSize(ncols int) int {
+	if ncols <= 0 {
+		return DefaultBatchSize
+	}
+	rows := batchBytesTarget / (8 * ncols)
+	if rows >= DefaultBatchSize {
+		return DefaultBatchSize
+	}
+	if rows <= MinBatchSize {
+		return MinBatchSize
+	}
+	// Round down to a power of two so batch boundaries stay cache-line and
+	// chunk aligned.
+	p := MinBatchSize
+	for p*2 <= rows {
+		p *= 2
+	}
+	return p
+}
+
 // Batch is a column-vector batch: Cols holds one value slice per output
 // column, all of equal length. Sel, when non-nil, lists the active row
 // indices in ascending order (rows not listed are filtered out); when nil,
@@ -61,14 +95,15 @@ type BatchScan struct {
 	out   Batch
 }
 
-// NewBatchScan creates a batch scan over all columns of the table with the
-// default batch size, exposing columns qualified with the table's name.
-func NewBatchScan(t *data.Table) *BatchScan { return NewBatchScanSize(t, DefaultBatchSize) }
+// NewBatchScan creates a batch scan over all columns of the table with an
+// adaptive batch size, exposing columns qualified with the table's name.
+func NewBatchScan(t *data.Table) *BatchScan { return NewBatchScanSize(t, 0) }
 
-// NewBatchScanSize is NewBatchScan with an explicit batch size.
+// NewBatchScanSize is NewBatchScan with an explicit batch size (0 = adaptive
+// from the table's column count).
 func NewBatchScanSize(t *data.Table, batchSize int) *BatchScan {
 	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
+		batchSize = AdaptiveBatchSize(t.NumCols())
 	}
 	names := t.ColumnNames()
 	s := &BatchScan{
@@ -216,6 +251,28 @@ func (p *BatchProject) NextBatch() (*Batch, bool) {
 // Reset implements BatchOperator.
 func (p *BatchProject) Reset() { p.in.Reset() }
 
+// batchSource is implemented by row operators that are really thin views over
+// a batch pipeline; batchify unwraps them instead of re-buffering rows.
+type batchSource interface {
+	batchSource() BatchOperator
+}
+
+// batchify converts a row operator into a batch operator without a buffering
+// round-trip whenever possible: Rows views (including the Sort/MergeJoin row
+// wrappers) unwrap to their underlying batch pipeline and table scans become
+// zero-copy batch scans; only genuinely row-native operators pay for the
+// Batches buffering adapter.
+func batchify(op Operator) BatchOperator {
+	switch o := op.(type) {
+	case batchSource:
+		return o.batchSource()
+	case *TableScan:
+		return NewBatchScan(o.table)
+	default:
+		return NewBatches(op)
+	}
+}
+
 // Rows adapts a BatchOperator to the row Operator interface, preserving the
 // batch pipeline's row order. It is the thin compatibility layer for callers
 // that still want rows.
@@ -233,6 +290,9 @@ func NewRows(in BatchOperator) *Rows {
 
 // Columns implements Operator.
 func (a *Rows) Columns() []string { return a.in.Columns() }
+
+// batchSource exposes the underlying batch pipeline to batchify.
+func (a *Rows) batchSource() BatchOperator { return a.in }
 
 // Next implements Operator.
 func (a *Rows) Next() ([]int64, bool) {

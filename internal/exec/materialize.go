@@ -14,7 +14,9 @@ type Options struct {
 	// 1 builds serially, n > 1 uses at most n workers. Join results (and
 	// therefore all derived quantities) are identical at every level.
 	Parallelism int
-	// BatchSize overrides the rows-per-batch granularity (0 = DefaultBatchSize).
+	// BatchSize overrides the rows-per-batch granularity. 0 picks an adaptive
+	// size from the plan's total column width (AdaptiveBatchSize), so wide
+	// join outputs stay inside L2.
 	BatchSize int
 }
 
@@ -22,11 +24,9 @@ type Options struct {
 // names ("R.x") become "R_x" in the result. Rows are buffered column-wise and
 // flushed through the table's bulk-append API.
 func Materialize(op Operator, name string) (*data.Table, error) {
-	if r, ok := op.(*Rows); ok {
-		// The row view of a batch pipeline: drain the batches directly.
-		return MaterializeBatch(r.in, name)
-	}
-	return MaterializeBatch(NewBatches(op), name)
+	// batchify unwraps row views of batch pipelines (Rows, Sort, MergeJoin)
+	// so the drain stays column-wise end to end.
+	return MaterializeBatch(batchify(op), name)
 }
 
 // MaterializeBatch drains a batch operator into a table named name,
@@ -82,6 +82,20 @@ func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
 // least one applicable predicate. Output columns are qualified names ("R.x").
 func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, error) {
 	tables := e.Tables()
+	if opts.BatchSize <= 0 {
+		// Size batches from the plan's total output width: every join in the
+		// left-deep chain carries the accumulated columns of all tables
+		// joined so far, so the final width is what must stay inside L2.
+		width := 0
+		for _, name := range tables {
+			t, err := cat.Table(name)
+			if err != nil {
+				return nil, err
+			}
+			width += t.NumCols()
+		}
+		opts.BatchSize = AdaptiveBatchSize(width)
+	}
 	if len(tables) == 1 {
 		t, err := cat.Table(tables[0])
 		if err != nil {
@@ -125,8 +139,8 @@ func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, e
 				}
 				// Build on the new base table, probe with the accumulated
 				// intermediate result.
-				j, err := NewVecHashJoin(NewBatchScanSize(t, opts.BatchSize), root, opts.Parallelism,
-					JoinCond{LeftCol: buildCol, RightCol: probeCol})
+				j, err := NewVecHashJoinSize(NewBatchScanSize(t, opts.BatchSize), root, opts.Parallelism,
+					opts.BatchSize, JoinCond{LeftCol: buildCol, RightCol: probeCol})
 				if err != nil {
 					return nil, err
 				}

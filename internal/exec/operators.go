@@ -12,7 +12,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/sitstats/sits/internal/data"
 )
@@ -367,168 +366,36 @@ func (j *NestedLoopJoin) Reset() {
 	j.currentRight = nil
 }
 
-// Sort materializes and sorts its input by the given column ascending.
+// Sort materializes and sorts its input by the given column ascending. It is
+// a row view over BatchSort: the sort itself argsorts column vectors (no
+// row-major intermediate), and the row interface exists only for callers that
+// still consume rows.
 type Sort struct {
-	in     Operator
-	col    string
-	idx    int
-	rows   [][]int64
-	sorted bool
-	pos    int
+	*Rows
 }
 
 // NewSort sorts in by col ascending.
 func NewSort(in Operator, col string) (*Sort, error) {
-	i, err := columnIndex(in.Columns(), col)
+	bs, err := NewBatchSort(batchify(in), col)
 	if err != nil {
 		return nil, err
 	}
-	return &Sort{in: in, col: col, idx: i}, nil
+	return &Sort{Rows: NewRows(bs)}, nil
 }
 
-// Columns implements Operator.
-func (s *Sort) Columns() []string { return s.in.Columns() }
-
-// Next implements Operator.
-func (s *Sort) Next() ([]int64, bool) {
-	if !s.sorted {
-		for {
-			row, ok := s.in.Next()
-			if !ok {
-				break
-			}
-			cp := make([]int64, len(row))
-			copy(cp, row)
-			s.rows = append(s.rows, cp)
-		}
-		sort.SliceStable(s.rows, func(i, j int) bool { return s.rows[i][s.idx] < s.rows[j][s.idx] })
-		s.sorted = true
-	}
-	if s.pos >= len(s.rows) {
-		return nil, false
-	}
-	row := s.rows[s.pos]
-	s.pos++
-	return row, true
-}
-
-// Reset implements Operator.
-func (s *Sort) Reset() { s.pos = 0 }
-
-// MergeJoin equi-joins two inputs sorted on their single join columns.
+// MergeJoin equi-joins two inputs sorted on their single join columns. It is
+// a row view over BatchMergeJoin, which merges the two sorted streams batch
+// at a time with run detection for duplicate keys.
 type MergeJoin struct {
-	left, right Operator
-	lIdx, rIdx  int
-	cols        []string
-	row         []int64
-
-	lRow, rRow   []int64
-	lDone, rDone bool
-	group        [][]int64 // left rows sharing the current key
-	gi           int
-	started      bool
+	*Rows
 }
 
 // NewMergeJoin joins two inputs that are sorted ascending on leftCol and
 // rightCol respectively.
 func NewMergeJoin(left, right Operator, leftCol, rightCol string) (*MergeJoin, error) {
-	li, err := columnIndex(left.Columns(), leftCol)
+	bj, err := NewBatchMergeJoin(batchify(left), batchify(right), leftCol, rightCol)
 	if err != nil {
 		return nil, err
 	}
-	ri, err := columnIndex(right.Columns(), rightCol)
-	if err != nil {
-		return nil, err
-	}
-	j := &MergeJoin{left: left, right: right, lIdx: li, rIdx: ri}
-	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
-	j.row = make([]int64, len(j.cols))
-	return j, nil
-}
-
-// Columns implements Operator.
-func (j *MergeJoin) Columns() []string { return j.cols }
-
-func (j *MergeJoin) advanceLeft() {
-	row, ok := j.left.Next()
-	if !ok {
-		j.lDone = true
-		j.lRow = nil
-		return
-	}
-	cp := make([]int64, len(row))
-	copy(cp, row)
-	j.lRow = cp
-}
-
-func (j *MergeJoin) advanceRight() {
-	row, ok := j.right.Next()
-	if !ok {
-		j.rDone = true
-		j.rRow = nil
-		return
-	}
-	cp := make([]int64, len(row))
-	copy(cp, row)
-	j.rRow = cp
-}
-
-// Next implements Operator.
-func (j *MergeJoin) Next() ([]int64, bool) {
-	if !j.started {
-		j.advanceLeft()
-		j.advanceRight()
-		j.started = true
-	}
-	for {
-		// Emit remaining pairs for the current right row and left group.
-		if j.gi < len(j.group) && j.rRow != nil {
-			l := j.group[j.gi]
-			j.gi++
-			copy(j.row, l)
-			copy(j.row[len(l):], j.rRow)
-			return j.row, true
-		}
-		if j.gi >= len(j.group) && len(j.group) > 0 && j.rRow != nil {
-			// Finished pairing this right row with the group; move to the
-			// next right row and re-pair if the key still matches.
-			key := j.group[0][j.lIdx]
-			j.advanceRight()
-			if j.rRow != nil && j.rRow[j.rIdx] == key {
-				j.gi = 0
-				continue
-			}
-			j.group = nil
-			j.gi = 0
-			continue
-		}
-		if j.lDone || j.rDone || j.lRow == nil || j.rRow == nil {
-			return nil, false
-		}
-		lk, rk := j.lRow[j.lIdx], j.rRow[j.rIdx]
-		switch {
-		case lk < rk:
-			j.advanceLeft()
-		case lk > rk:
-			j.advanceRight()
-		default:
-			// Collect the full left group for this key.
-			j.group = j.group[:0]
-			for j.lRow != nil && j.lRow[j.lIdx] == lk {
-				j.group = append(j.group, j.lRow)
-				j.advanceLeft()
-			}
-			j.gi = 0
-		}
-	}
-}
-
-// Reset implements Operator.
-func (j *MergeJoin) Reset() {
-	j.left.Reset()
-	j.right.Reset()
-	j.lRow, j.rRow = nil, nil
-	j.lDone, j.rDone = false, false
-	j.group, j.gi = nil, 0
-	j.started = false
+	return &MergeJoin{Rows: NewRows(bj)}, nil
 }

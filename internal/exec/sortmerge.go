@@ -1,0 +1,414 @@
+package exec
+
+import (
+	"sort"
+)
+
+// This file holds the batch-native sort and merge-join operators. Both used to
+// run row-at-a-time behind the Rows/Batches adapters, which cost a transpose
+// on entry and exit plus a row copy per advance; here Sort argsorts an index
+// permutation over materialized column vectors and gathers each column once,
+// and MergeJoin merges two sorted batch streams with run detection for
+// duplicate keys, emitting column batches directly. The row Sort/MergeJoin
+// types in operators.go are thin row views over these.
+
+// BatchSort materializes its input column-wise and sorts it by one column
+// ascending. The sort is stable: rows with equal keys keep their input order,
+// matching the row-at-a-time sort it replaces bit for bit. Sorting argsorts an
+// index permutation over the key column and then gathers every column once,
+// so no row-major intermediate ever exists.
+type BatchSort struct {
+	in   BatchOperator
+	col  string
+	idx  int
+	size int
+
+	sorted bool
+	cols   [][]int64 // materialized, sorted columns
+	n      int
+	pos    int
+	out    Batch
+}
+
+// NewBatchSort sorts in by col ascending, with an adaptive batch size derived
+// from the output width.
+func NewBatchSort(in BatchOperator, col string) (*BatchSort, error) {
+	return NewBatchSortSize(in, col, 0)
+}
+
+// NewBatchSortSize is NewBatchSort with an explicit batch size (0 = adaptive).
+func NewBatchSortSize(in BatchOperator, col string, batchSize int) (*BatchSort, error) {
+	i, err := columnIndex(in.Columns(), col)
+	if err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		batchSize = AdaptiveBatchSize(len(in.Columns()))
+	}
+	s := &BatchSort{in: in, col: col, idx: i, size: batchSize}
+	s.out.Cols = make([][]int64, len(in.Columns()))
+	return s, nil
+}
+
+// Columns implements BatchOperator.
+func (s *BatchSort) Columns() []string { return s.in.Columns() }
+
+// sort drains the input into column buffers, argsorts an index permutation by
+// the key column, and gathers each column through the permutation. Presorted
+// inputs are detected and served as-is (no permutation, no gather).
+func (s *BatchSort) sort() {
+	nc := len(s.out.Cols)
+	cols := make([][]int64, nc)
+	for {
+		b, ok := s.in.NextBatch()
+		if !ok {
+			break
+		}
+		if b.Sel != nil {
+			for c, col := range b.Cols {
+				for _, r := range b.Sel {
+					cols[c] = append(cols[c], col[r])
+				}
+			}
+		} else {
+			for c, col := range b.Cols {
+				cols[c] = append(cols[c], col...)
+			}
+		}
+	}
+	s.n = 0
+	if nc > 0 {
+		s.n = len(cols[0])
+	}
+	key := []int64(nil)
+	if nc > 0 {
+		key = cols[s.idx]
+	}
+	presorted := true
+	for i := 1; i < s.n; i++ {
+		if key[i] < key[i-1] {
+			presorted = false
+			break
+		}
+	}
+	if presorted {
+		s.cols = cols
+		s.sorted = true
+		return
+	}
+	perm := make([]int32, s.n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return key[perm[i]] < key[perm[j]] })
+	s.cols = make([][]int64, nc)
+	for c := range cols {
+		src := cols[c]
+		dst := make([]int64, s.n)
+		for i, p := range perm {
+			dst[i] = src[p]
+		}
+		s.cols[c] = dst
+	}
+	s.sorted = true
+}
+
+// NextBatch implements BatchOperator: batches are sub-slices of the sorted
+// columns (no copying after the sort).
+func (s *BatchSort) NextBatch() (*Batch, bool) {
+	if !s.sorted {
+		s.sort()
+	}
+	if s.pos >= s.n {
+		return nil, false
+	}
+	end := s.pos + s.size
+	if end > s.n {
+		end = s.n
+	}
+	for c := range s.cols {
+		s.out.Cols[c] = s.cols[c][s.pos:end]
+	}
+	s.out.Sel = nil
+	s.pos = end
+	return &s.out, true
+}
+
+// Reset implements BatchOperator: the sorted data is retained and only the
+// output cursor rewinds, matching the original row sort's contract.
+func (s *BatchSort) Reset() { s.pos = 0 }
+
+// BatchMergeJoin equi-joins two batch streams sorted ascending on their single
+// join columns. Duplicate-key runs on the left are detected per batch and
+// buffered column-wise (runs may span batch boundaries), so pairing a right
+// row with a run of k matches costs one memcopy per left column instead of k
+// row copies. Matches are emitted per right row in left-input order — the same
+// output sequence as the row-at-a-time merge join it replaces.
+type BatchMergeJoin struct {
+	left, right BatchOperator
+	lIdx, rIdx  int
+	cols        []string
+	nl, nr      int
+	size        int
+
+	started    bool
+	lb, rb     *Batch
+	lpos, rpos int // logical positions within lb/rb
+
+	runCols [][]int64 // buffered left run: rows sharing runKey
+	haveRun bool
+	runKey  int64
+	emit    int  // next run row to pair with the in-flight right row
+	rrow    int  // physical row of the in-flight right probe
+	pairing bool // currently emitting run x right-row pairs
+
+	bufs [][]int64
+	out  Batch
+}
+
+// NewBatchMergeJoin joins two batch inputs sorted ascending on leftCol and
+// rightCol respectively, with an adaptive batch size derived from the output
+// width.
+func NewBatchMergeJoin(left, right BatchOperator, leftCol, rightCol string) (*BatchMergeJoin, error) {
+	return NewBatchMergeJoinSize(left, right, leftCol, rightCol, 0)
+}
+
+// NewBatchMergeJoinSize is NewBatchMergeJoin with an explicit batch size
+// (0 = adaptive).
+func NewBatchMergeJoinSize(left, right BatchOperator, leftCol, rightCol string, batchSize int) (*BatchMergeJoin, error) {
+	li, err := columnIndex(left.Columns(), leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := columnIndex(right.Columns(), rightCol)
+	if err != nil {
+		return nil, err
+	}
+	j := &BatchMergeJoin{left: left, right: right, lIdx: li, rIdx: ri}
+	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	j.nl, j.nr = len(left.Columns()), len(right.Columns())
+	if batchSize <= 0 {
+		batchSize = AdaptiveBatchSize(len(j.cols))
+	}
+	j.size = batchSize
+	j.runCols = make([][]int64, j.nl)
+	j.bufs = make([][]int64, len(j.cols))
+	for i := range j.bufs {
+		j.bufs[i] = make([]int64, 0, j.size)
+	}
+	j.out.Cols = make([][]int64, len(j.cols))
+	return j, nil
+}
+
+// Columns implements BatchOperator.
+func (j *BatchMergeJoin) Columns() []string { return j.cols }
+
+// pullLeft fetches the next non-empty left batch (nil when exhausted).
+func (j *BatchMergeJoin) pullLeft() {
+	for {
+		b, ok := j.left.NextBatch()
+		if !ok {
+			j.lb = nil
+			return
+		}
+		if b.NumRows() > 0 {
+			j.lb, j.lpos = b, 0
+			return
+		}
+	}
+}
+
+// pullRight fetches the next non-empty right batch (nil when exhausted).
+func (j *BatchMergeJoin) pullRight() {
+	for {
+		b, ok := j.right.NextBatch()
+		if !ok {
+			j.rb = nil
+			return
+		}
+		if b.NumRows() > 0 {
+			j.rb, j.rpos = b, 0
+			return
+		}
+	}
+}
+
+func (j *BatchMergeJoin) leftKey() int64 {
+	r := j.lpos
+	if j.lb.Sel != nil {
+		r = int(j.lb.Sel[j.lpos])
+	}
+	return j.lb.Cols[j.lIdx][r]
+}
+
+func (j *BatchMergeJoin) rightKey() int64 {
+	r := j.rpos
+	if j.rb.Sel != nil {
+		r = int(j.rb.Sel[j.rpos])
+	}
+	return j.rb.Cols[j.rIdx][r]
+}
+
+func (j *BatchMergeJoin) advanceLeft() {
+	j.lpos++
+	if j.lpos >= j.lb.NumRows() {
+		j.pullLeft()
+	}
+}
+
+func (j *BatchMergeJoin) advanceRight() {
+	j.rpos++
+	if j.rpos >= j.rb.NumRows() {
+		j.pullRight()
+	}
+}
+
+// beginPair starts pairing the current right row against the buffered run.
+func (j *BatchMergeJoin) beginPair() {
+	r := j.rpos
+	if j.rb.Sel != nil {
+		r = int(j.rb.Sel[j.rpos])
+	}
+	j.rrow = r
+	j.emit = 0
+	j.pairing = true
+}
+
+func (j *BatchMergeJoin) clearRun() {
+	for c := range j.runCols {
+		j.runCols[c] = j.runCols[c][:0]
+	}
+	j.haveRun = false
+	j.pairing = false
+}
+
+// collectRun buffers every remaining left row whose key equals key, advancing
+// the left cursor past the run. Within a batch the run extent is found by
+// scanning the key column once and each column is appended with one copy.
+func (j *BatchMergeJoin) collectRun(key int64) {
+	for c := range j.runCols {
+		j.runCols[c] = j.runCols[c][:0]
+	}
+	j.runKey = key
+	j.haveRun = true
+	for j.lb != nil {
+		b := j.lb
+		kcol := b.Cols[j.lIdx]
+		if b.Sel == nil {
+			start := j.lpos
+			n := len(b.Cols[0])
+			end := start
+			for end < n && kcol[end] == key {
+				end++
+			}
+			if end > start {
+				for c := 0; c < j.nl; c++ {
+					j.runCols[c] = append(j.runCols[c], b.Cols[c][start:end]...)
+				}
+				j.lpos = end
+			}
+			if end < n {
+				return // run ended inside this batch
+			}
+		} else {
+			n := len(b.Sel)
+			for j.lpos < n {
+				r := int(b.Sel[j.lpos])
+				if kcol[r] != key {
+					return
+				}
+				for c := 0; c < j.nl; c++ {
+					j.runCols[c] = append(j.runCols[c], b.Cols[c][r])
+				}
+				j.lpos++
+			}
+		}
+		j.pullLeft()
+	}
+}
+
+// NextBatch implements BatchOperator. Returned batches hold up to the
+// configured batch size and are reused across calls; a duplicate-key cross
+// product larger than a batch pauses and resumes across calls.
+func (j *BatchMergeJoin) NextBatch() (*Batch, bool) {
+	if !j.started {
+		j.pullLeft()
+		j.pullRight()
+		j.started = true
+	}
+	for i := range j.bufs {
+		j.bufs[i] = j.bufs[i][:0]
+	}
+	emitted := 0
+	for {
+		if j.pairing {
+			runLen := len(j.runCols[0])
+			take := runLen - j.emit
+			if space := j.size - emitted; take > space {
+				take = space
+			}
+			for c := 0; c < j.nl; c++ {
+				j.bufs[c] = append(j.bufs[c], j.runCols[c][j.emit:j.emit+take]...)
+			}
+			for c := 0; c < j.nr; c++ {
+				v := j.rb.Cols[c][j.rrow]
+				buf := j.bufs[j.nl+c]
+				for k := 0; k < take; k++ {
+					buf = append(buf, v)
+				}
+				j.bufs[j.nl+c] = buf
+			}
+			j.emit += take
+			emitted += take
+			if j.emit < runLen {
+				return j.flush(), true // output batch full mid-run
+			}
+			// Done pairing this right row: advance right and re-pair while the
+			// key still matches the buffered run.
+			j.pairing = false
+			j.advanceRight()
+			if j.rb != nil && j.rightKey() == j.runKey {
+				j.beginPair()
+			} else {
+				j.clearRun()
+			}
+			if emitted >= j.size {
+				return j.flush(), true
+			}
+			continue
+		}
+		if j.lb == nil || j.rb == nil {
+			if emitted > 0 {
+				return j.flush(), true
+			}
+			return nil, false
+		}
+		lk, rk := j.leftKey(), j.rightKey()
+		switch {
+		case lk < rk:
+			j.advanceLeft()
+		case lk > rk:
+			j.advanceRight()
+		default:
+			j.collectRun(lk)
+			j.beginPair()
+		}
+	}
+}
+
+func (j *BatchMergeJoin) flush() *Batch {
+	copy(j.out.Cols, j.bufs)
+	j.out.Sel = nil
+	return &j.out
+}
+
+// Reset implements BatchOperator: both inputs rewind and all merge state is
+// cleared.
+func (j *BatchMergeJoin) Reset() {
+	j.left.Reset()
+	j.right.Reset()
+	j.started = false
+	j.lb, j.rb = nil, nil
+	j.lpos, j.rpos = 0, 0
+	j.clearRun()
+}

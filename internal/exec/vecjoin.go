@@ -35,8 +35,15 @@ type VecHashJoin struct {
 
 // NewVecHashJoin joins left and right on the conjunction of conds, building
 // the hash table with up to `parallelism` workers (0 = GOMAXPROCS, 1 =
-// serial). The join result is identical at every parallelism level.
+// serial). The join result is identical at every parallelism level. Output
+// batches are sized adaptively from the join's output width.
 func NewVecHashJoin(left, right BatchOperator, parallelism int, conds ...JoinCond) (*VecHashJoin, error) {
+	return NewVecHashJoinSize(left, right, parallelism, 0, conds...)
+}
+
+// NewVecHashJoinSize is NewVecHashJoin with an explicit output batch size
+// (0 = adaptive from the output column count).
+func NewVecHashJoinSize(left, right BatchOperator, parallelism, batchSize int, conds ...JoinCond) (*VecHashJoin, error) {
 	if len(conds) == 0 {
 		return nil, fmt.Errorf("exec: hash join needs at least one condition")
 	}
@@ -45,7 +52,6 @@ func NewVecHashJoin(left, right BatchOperator, parallelism int, conds ...JoinCon
 		right:       right,
 		conds:       conds,
 		parallelism: parallelism,
-		size:        DefaultBatchSize,
 	}
 	for _, c := range conds {
 		li, err := columnIndex(left.Columns(), c.LeftCol)
@@ -60,6 +66,10 @@ func NewVecHashJoin(left, right BatchOperator, parallelism int, conds ...JoinCon
 		j.rIdx = append(j.rIdx, ri)
 	}
 	j.cols = append(append([]string(nil), left.Columns()...), right.Columns()...)
+	if batchSize <= 0 {
+		batchSize = AdaptiveBatchSize(len(j.cols))
+	}
+	j.size = batchSize
 	j.probeVals = make([]int64, len(conds))
 	j.bufs = make([][]int64, len(j.cols))
 	for i := range j.bufs {
@@ -85,8 +95,8 @@ func (j *VecHashJoin) build() {
 	j.built = true
 }
 
-// NextBatch implements BatchOperator. Returned batches hold up to
-// DefaultBatchSize result rows and are reused across calls.
+// NextBatch implements BatchOperator. Returned batches hold up to the
+// configured batch size and are reused across calls.
 func (j *VecHashJoin) NextBatch() (*Batch, bool) {
 	if !j.built {
 		j.build()

@@ -28,6 +28,9 @@ type AblationConfig struct {
 	// Parallelism bounds the worker pool over the construction algorithms and
 	// the builders' shared scans (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize overrides the executor's rows-per-batch granularity (0 =
+	// adaptive from each plan's column width).
+	BatchSize int
 }
 
 // DefaultAblationConfig returns a 3-way-chain ablation of SweepFull across
@@ -66,7 +69,7 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 		return nil, err
 	}
 	truthVals, err := exec.AttrValuesOpts(cat, spec.Expr, spec.Table, spec.Attr,
-		exec.Options{Parallelism: cfg.Parallelism})
+		exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +98,7 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 		bcfg.HistMethod = hm
 		bcfg.Seed = cfg.Seed
 		bcfg.Parallelism = cfg.Parallelism
+		bcfg.BatchSize = cfg.BatchSize
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
 			return err

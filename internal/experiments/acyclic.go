@@ -27,6 +27,9 @@ type AcyclicConfig struct {
 	// Parallelism bounds the worker pool over the creation techniques and the
 	// builders' shared scans (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// BatchSize overrides the executor's rows-per-batch granularity (0 =
+	// adaptive from each plan's column width).
+	BatchSize int
 }
 
 // DefaultAcyclicConfig returns the default snowflake experiment.
@@ -72,7 +75,7 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 		return nil, err
 	}
 	truthVals, err := exec.AttrValuesOpts(cat, expr, "F", "a",
-		exec.Options{Parallelism: cfg.Parallelism})
+		exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +103,7 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 		bcfg.Buckets = cfg.Buckets
 		bcfg.Seed = cfg.Seed
 		bcfg.Parallelism = cfg.Parallelism
+		bcfg.BatchSize = cfg.BatchSize
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
 			return err

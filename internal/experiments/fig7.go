@@ -42,6 +42,9 @@ type Fig7Config struct {
 	// single-threaded results exactly). Cells are always assembled in
 	// deterministic (way, buckets, method) order regardless of the setting.
 	Parallelism int
+	// BatchSize overrides the executor's rows-per-batch granularity (0 =
+	// adaptive from each plan's column width).
+	BatchSize int
 }
 
 // DefaultFig7Config returns the paper's setting, scaled to run in seconds.
@@ -137,7 +140,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 			return err
 		}
 		truthVals, err := exec.AttrValuesOpts(cat, spec.Expr, spec.Table, spec.Attr,
-			exec.Options{Parallelism: cfg.Parallelism})
+			exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
 		if err != nil {
 			return err
 		}
@@ -182,6 +185,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		bcfg.MinSample = 500
 		bcfg.Seed = cfg.Seed
 		bcfg.Parallelism = cfg.Parallelism
+		bcfg.BatchSize = cfg.BatchSize
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
 			return err

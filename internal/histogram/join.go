@@ -132,3 +132,41 @@ func ContainmentMultiplicity(hR, hS *Histogram, y int64) float64 {
 	}
 	return m
 }
+
+// ContainmentMultiplicitySorted is the batched m-Oracle probe: it fills
+// out[i] = ContainmentMultiplicity(hR, hS, vals[i]) for an ascending vals
+// slice. Because the probes are sorted, both histograms are walked with
+// forward bucket cursors — each bucket list is traversed at most once per
+// call instead of one binary search per probe — and runs of equal values
+// reuse the previous answer. The arithmetic per probe is identical to the
+// scalar ContainmentMultiplicity, so results are bit-identical.
+func ContainmentMultiplicitySorted(hR, hS *Histogram, vals []int64, out []float64) {
+	iR, iS := 0, 0
+	for k, v := range vals {
+		if k > 0 && v == vals[k-1] {
+			out[k] = out[k-1]
+			continue
+		}
+		for iR < len(hR.Buckets) && hR.Buckets[iR].Hi < v {
+			iR++
+		}
+		if iR >= len(hR.Buckets) || !hR.Buckets[iR].Contains(v) || hR.Buckets[iR].Distinct <= 0 {
+			out[k] = 0
+			continue
+		}
+		bR := hR.Buckets[iR]
+		m := bR.Freq / bR.Distinct
+		for iS < len(hS.Buckets) && hS.Buckets[iS].Hi < v {
+			iS++
+		}
+		if iS < len(hS.Buckets) && hS.Buckets[iS].Contains(v) && hS.Buckets[iS].Distinct > 0 {
+			bS := hS.Buckets[iS]
+			densR := bR.Distinct / bR.Width()
+			densS := bS.Distinct / bS.Width()
+			if densS > densR {
+				m *= densR / densS
+			}
+		}
+		out[k] = m
+	}
+}

@@ -1,0 +1,73 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestContainmentMultiplicitySortedMatchesScalar: the batched probe must be
+// bit-identical to one scalar ContainmentMultiplicity call per value, for
+// every construction method and for probes inside, between and outside the
+// histograms' bucket ranges.
+func TestContainmentMultiplicitySortedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	methods := []Method{MaxDiffArea, MaxDiffFreq, EquiDepth, EquiWidth}
+	for trial := 0; trial < 25; trial++ {
+		xs := make([]int64, 500)
+		ys := make([]int64, 400)
+		for i := range xs {
+			xs[i] = rng.Int63n(300) - 150
+		}
+		for i := range ys {
+			// Partial overlap so some probes miss hR, hS or both.
+			ys[i] = rng.Int63n(300) - 50
+		}
+		m := methods[trial%len(methods)]
+		hR, err := FromValues(xs, 3+trial%12, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hS, err := FromValues(ys, 2+trial%9, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes := make([]int64, 600)
+		for i := range probes {
+			probes[i] = rng.Int63n(500) - 250
+		}
+		sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+		out := make([]float64, len(probes))
+		ContainmentMultiplicitySorted(hR, hS, probes, out)
+		for i, v := range probes {
+			if want := ContainmentMultiplicity(hR, hS, v); out[i] != want {
+				t.Fatalf("trial %d method %v: batched m(%d) = %v, scalar = %v", trial, m, v, out[i], want)
+			}
+		}
+	}
+}
+
+// TestContainmentMultiplicitySortedEdgeCases covers empty probe vectors,
+// empty histograms, and all-duplicate probe runs.
+func TestContainmentMultiplicitySortedEdgeCases(t *testing.T) {
+	empty := &Histogram{}
+	h, err := FromValues([]int64{1, 2, 2, 3, 9, 9, 9}, 3, MaxDiffArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ContainmentMultiplicitySorted(h, h, nil, nil) // must not panic
+	probes := []int64{-5, 2, 2, 2, 9, 40}
+	out := make([]float64, len(probes))
+	ContainmentMultiplicitySorted(empty, h, probes, out)
+	for i, m := range out {
+		if m != 0 {
+			t.Fatalf("empty hR: out[%d] = %v, want 0", i, m)
+		}
+	}
+	ContainmentMultiplicitySorted(h, empty, probes, out)
+	for i, v := range probes {
+		if want := ContainmentMultiplicity(h, empty, v); out[i] != want {
+			t.Fatalf("empty hS: out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}

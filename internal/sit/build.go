@@ -152,10 +152,8 @@ func (b *Builder) prepareJob(spec query.SITSpec, m Method, nb int) (*scanJob, er
 			if err != nil {
 				return nil, err
 			}
-			job.preds = append(job.preds, jobPred{
-				attrs: []string{edge.Preds[0].ParentAttr, edge.Preds[1].ParentAttr},
-				o:     o,
-			})
+			job.preds = append(job.preds, newJobPred(
+				[]string{edge.Preds[0].ParentAttr, edge.Preds[1].ParentAttr}, o))
 			continue
 		}
 		for _, pred := range edge.Preds {
@@ -163,7 +161,7 @@ func (b *Builder) prepareJob(spec query.SITSpec, m Method, nb int) (*scanJob, er
 			if err != nil {
 				return nil, err
 			}
-			job.preds = append(job.preds, jobPred{attrs: []string{pred.ParentAttr}, o: o})
+			job.preds = append(job.preds, newJobPred([]string{pred.ParentAttr}, o))
 		}
 	}
 	job.cons, err = b.newConsumer(spec.Table, m)
@@ -285,7 +283,7 @@ func (b *Builder) newConsumer(table string, m Method) (consumer, error) {
 // the histogram over the actual attribute values: the ground-truth SIT.
 func (b *Builder) materializeSIT(spec query.SITSpec, nb int) (*SIT, error) {
 	vals, err := exec.AttrValuesOpts(b.cat, spec.Expr, spec.Table, spec.Attr,
-		exec.Options{Parallelism: b.cfg.Parallelism})
+		exec.Options{Parallelism: b.cfg.Parallelism, BatchSize: b.cfg.BatchSize})
 	if err != nil {
 		return nil, err
 	}

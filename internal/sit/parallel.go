@@ -80,29 +80,74 @@ func resolveColumns(jobs []*scanJob) []string {
 	return cols
 }
 
+// probeScratch holds the per-scanner multiplicity buffers reused across
+// chunks: m accumulates the per-row predicate product, tmp receives one
+// predicate's batched answers before they are folded into m. One scratch
+// lives per scanning goroutine, so feedChunk allocates nothing per chunk.
+type probeScratch struct {
+	m, tmp []float64
+}
+
+func (s *probeScratch) grow(n int) {
+	if cap(s.m) < n {
+		s.m = make([]float64, n)
+		s.tmp = make([]float64, n)
+	}
+	s.m = s.m[:n]
+	s.tmp = s.tmp[:n]
+}
+
 // feedChunk streams one chunk into the given per-job consumers (dst[i]
 // absorbs jobs[i]'s stream). Per tuple and job, the multiplicity is the
 // product of the per-predicate oracle answers; the job's target value is
 // streamed with that multiplicity.
-func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer) {
+//
+// Predicates whose oracle implements batchOracle are probed once per chunk
+// over the whole column sub-slice instead of once per row; 2-D oracles fall
+// back to the per-row path. The per-consumer stream is unchanged: values
+// arrive in ascending row order with multiplicities that are bit-identical
+// to the row-at-a-time computation (the product is accumulated in the same
+// predicate order, 1*x == x, and rows whose running product hits zero are
+// skipped in both forms).
+func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer, s *probeScratch) {
 	n := ch.Len()
+	s.grow(n)
 	var vbuf [4]int64
-	for r := 0; r < n; r++ {
-		for ji, j := range jobs {
-			m := 1.0
+	for ji, j := range jobs {
+		m := s.m
+		// Single batchable predicate: probe straight into m.
+		if len(j.preds) == 1 && j.preds[0].bo != nil {
+			j.preds[0].bo.multiplicityBatch(ch.Cols[j.preds[0].cols[0]], m)
+		} else {
+			for r := range m {
+				m[r] = 1
+			}
 			for pi := range j.preds {
 				p := &j.preds[pi]
-				vals := vbuf[:0]
-				for _, c := range p.cols {
-					vals = append(vals, ch.Cols[c][r])
+				if p.bo != nil {
+					p.bo.multiplicityBatch(ch.Cols[p.cols[0]], s.tmp)
+					for r := range m {
+						m[r] *= s.tmp[r]
+					}
+					continue
 				}
-				m *= p.o.multiplicity(vals)
-				if m == 0 {
-					break
+				for r := 0; r < n; r++ {
+					if m[r] == 0 {
+						continue
+					}
+					vals := vbuf[:0]
+					for _, c := range p.cols {
+						vals = append(vals, ch.Cols[c][r])
+					}
+					m[r] *= p.o.multiplicity(vals)
 				}
 			}
-			if m > 0 {
-				dst[ji].add(ch.Cols[j.targetCol][r], m)
+		}
+		target := ch.Cols[j.targetCol]
+		cons := dst[ji]
+		for r := 0; r < n; r++ {
+			if mv := m[r]; mv > 0 {
+				cons.add(target[r], mv)
 			}
 		}
 	}
@@ -153,12 +198,13 @@ func scanSerial(chunks []data.Chunk, jobs []*scanJob) error {
 			chunked = true
 		}
 	}
+	var scratch probeScratch
 	// With a single chunk the chunk-order fold degenerates: merging one
 	// partial into an empty root adds 0 + x per value, which is bit-identical
 	// to accumulating in the root directly, so skip the scratch shards.
 	if !chunked || len(chunks) == 1 {
 		for ci := range chunks {
-			feedChunk(chunks[ci], jobs, dst)
+			feedChunk(chunks[ci], jobs, dst, &scratch)
 		}
 		return nil
 	}
@@ -179,7 +225,7 @@ func scanSerial(chunks []data.Chunk, jobs []*scanJob) error {
 			}
 			dst[i] = shard
 		}
-		feedChunk(chunks[ci], jobs, dst)
+		feedChunk(chunks[ci], jobs, dst, &scratch)
 		for i, j := range jobs {
 			if !j.cons.perChunk() {
 				continue
@@ -214,6 +260,7 @@ func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int) error {
 			defer wg.Done()
 			lo, hi := w*len(chunks)/workers, (w+1)*len(chunks)/workers
 			dst := make([]consumer, len(jobs))
+			var scratch probeScratch
 			for ji, j := range jobs {
 				if j.cons.perChunk() {
 					continue
@@ -239,7 +286,7 @@ func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int) error {
 					chunkShards[ji][ci] = shard
 					dst[ji] = shard
 				}
-				feedChunk(chunks[ci], jobs, dst)
+				feedChunk(chunks[ci], jobs, dst, &scratch)
 			}
 		}(w)
 	}

@@ -129,6 +129,10 @@ type Config struct {
 	// parallelism level; sampled methods (Sweep, SweepIndex) are deterministic
 	// for a fixed parallelism level.
 	Parallelism int
+	// BatchSize overrides the executor's rows-per-batch granularity when
+	// materializing generating queries (0 = adaptive from the plan's column
+	// width; see exec.AdaptiveBatchSize).
+	BatchSize int
 }
 
 // DefaultConfig returns the paper's experimental defaults.
@@ -158,6 +162,9 @@ func (c Config) validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("sit: parallelism %d must be >= 0 (0 = GOMAXPROCS)", c.Parallelism)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("sit: batch size %d must be >= 0 (0 = adaptive)", c.BatchSize)
 	}
 	return nil
 }

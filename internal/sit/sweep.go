@@ -17,6 +17,73 @@ type oracle interface {
 	multiplicity(vals []int64) float64
 }
 
+// batchOracle is the vectorized m-Oracle contract: multiplicityBatch fills
+// out[i] with the multiplicity of vals[i] (out and vals have equal length).
+// Implementations sort a permutation of the probe vector and answer it in
+// ascending order — histogram oracles then walk their bucket lists once per
+// chunk and index oracles follow the B+tree leaf chain with one descent per
+// distinct-key jump — and scatter the answers back through the permutation.
+// Every answer is bit-identical to the scalar multiplicity call.
+type batchOracle interface {
+	multiplicityBatch(vals []int64, out []float64)
+}
+
+// sortedProbe argsorts the probe vector: perm is the index permutation and
+// sorted[i] = vals[perm[i]] ascending. It uses a stable LSD radix sort
+// (signed order via sign-bit flip) rather than a comparison sort — chunk
+// probe vectors are a few thousand elements, where comparator closures cost
+// more than the batched walk saves. One pre-scan builds all eight byte
+// histograms, and passes whose byte is constant across the vector are
+// skipped, so vectors from a narrow key domain need only one or two scatter
+// passes.
+func sortedProbe(vals []int64) (perm []int32, sorted []int64) {
+	n := len(vals)
+	if n == 0 {
+		return nil, nil
+	}
+	keys := make([]uint64, n)
+	perm = make([]int32, n)
+	for i, v := range vals {
+		keys[i] = uint64(v) ^ (1 << 63)
+		perm[i] = int32(i)
+	}
+	var counts [8][256]int32
+	for _, k := range keys {
+		for b := uint(0); b < 8; b++ {
+			counts[b][byte(k>>(8*b))]++
+		}
+	}
+	src, dst := keys, make([]uint64, n)
+	ps, pd := perm, make([]int32, n)
+	for b := uint(0); b < 8; b++ {
+		c := &counts[b]
+		if c[byte(keys[0]>>(8*b))] == int32(n) {
+			continue // byte constant across the vector
+		}
+		var offs [256]int32
+		sum := int32(0)
+		for v := 0; v < 256; v++ {
+			offs[v] = sum
+			sum += c[v]
+		}
+		for i := 0; i < n; i++ {
+			k := src[i]
+			d := byte(k >> (8 * b))
+			o := offs[d]
+			offs[d] = o + 1
+			dst[o] = k
+			pd[o] = ps[i]
+		}
+		src, dst = dst, src
+		ps, pd = pd, ps
+	}
+	sorted = make([]int64, n)
+	for i, k := range src {
+		sorted[i] = int64(k ^ (1 << 63))
+	}
+	return ps, sorted
+}
+
 // histOracle implements getMultiplicity of Section 3.1.1: the expected
 // multiplicity under the containment assumption, computed from the histogram
 // over the joined side (child: a base histogram or an intermediate SIT) and
@@ -29,6 +96,15 @@ func (o histOracle) multiplicity(vals []int64) float64 {
 	return histogram.ContainmentMultiplicity(o.child, o.parent, vals[0])
 }
 
+func (o histOracle) multiplicityBatch(vals []int64, out []float64) {
+	perm, sorted := sortedProbe(vals)
+	ms := make([]float64, len(sorted))
+	histogram.ContainmentMultiplicitySorted(o.child, o.parent, sorted, ms)
+	for i, p := range perm {
+		out[p] = ms[i]
+	}
+}
+
 // indexOracle implements the SweepIndex m-Oracle: an exact duplicate count
 // from a B+tree over the joined base table's attribute.
 type indexOracle struct {
@@ -37,6 +113,15 @@ type indexOracle struct {
 
 func (o indexOracle) multiplicity(vals []int64) float64 {
 	return float64(o.idx.Count(vals[0]))
+}
+
+func (o indexOracle) multiplicityBatch(vals []int64, out []float64) {
+	perm, sorted := sortedProbe(vals)
+	counts := make([]int64, len(sorted))
+	o.idx.CountsSorted(sorted, counts)
+	for i, p := range perm {
+		out[p] = float64(counts[i])
+	}
 }
 
 // oracle2D answers double-predicate edges from two-dimensional histograms
@@ -264,11 +349,24 @@ func (c *fullConsumer) resetShard() {
 // and the oracle that answers multiplicities for them. cols caches the
 // attributes' integer offsets into the shared scan's column set (resolved
 // once per scan by resolveColumns), so the per-tuple loop never touches a
-// name map.
+// name map. bo is the oracle's batched interface when the predicate can be
+// probed per chunk (single attribute and the oracle supports it); nil forces
+// the per-row fallback (2-D oracles).
 type jobPred struct {
 	attrs []string
 	o     oracle
+	bo    batchOracle
 	cols  []int
+}
+
+// newJobPred wires a predicate, enabling batched probing for single-attribute
+// predicates whose oracle implements batchOracle.
+func newJobPred(attrs []string, o oracle) jobPred {
+	p := jobPred{attrs: attrs, o: o}
+	if bo, ok := o.(batchOracle); ok && len(attrs) == 1 {
+		p.bo = bo
+	}
+	return p
 }
 
 // scanJob is one SIT produced by a shared sequential scan (Section 4's
