@@ -78,7 +78,7 @@ func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir strin
 			return err
 		}
 		loaded, err := sits.LoadSITs(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return err
 		}
@@ -136,7 +136,7 @@ func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir strin
 			return err
 		}
 		if err := sits.SaveSITs(f, registered); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,39 @@
+package advisor
+
+import (
+	"testing"
+)
+
+// TestCandidatesRunToRunStable: the recommendation list (order, specs,
+// scores) must be identical on every call — candidates are accumulated in a
+// map keyed by canonical spec, so a regression here means the sorted
+// emission of that map was lost.
+func TestCandidatesRunToRunStable(t *testing.T) {
+	b, w := chainWorkload(t)
+	a, err := New(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := a.Candidates(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("workload produced no candidates")
+	}
+	for i := 0; i < 5; i++ {
+		again, err := a.Candidates(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d candidates, first run had %d", i, len(again), len(first))
+		}
+		for c := range first {
+			f, g := first[c], again[c]
+			if f.Spec.Canonical() != g.Spec.Canonical() || f.Benefit != g.Benefit || f.Cost != g.Cost {
+				t.Fatalf("run %d: candidate %d changed: %+v vs %+v", i, c, f, g)
+			}
+		}
+	}
+}

@@ -81,7 +81,7 @@ func ReadCSVFile(name, path string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //statcheck:ignore droppederr read-only file, close errors carry no data loss
 	return ReadCSV(name, f)
 }
 
@@ -120,7 +120,7 @@ func WriteCSVFile(t *Table, path string) error {
 		return err
 	}
 	if err := WriteCSV(t, f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

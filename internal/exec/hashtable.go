@@ -48,6 +48,8 @@ func newJoinTable(stride int, keyIdx []int) *joinTable {
 }
 
 // mix64 is the 64-bit finalizer of MurmurHash3: a cheap, high-quality mixer.
+//
+//statcheck:hot
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
@@ -60,6 +62,8 @@ func mix64(x uint64) uint64 {
 const hashSeed = 0x9e3779b97f4a7c15 // golden-ratio increment, splitmix64 style
 
 // hashVals mixes a multi-condition key tuple into 64 bits.
+//
+//statcheck:hot
 func hashVals(vals []int64) uint64 {
 	h := uint64(len(vals))
 	for _, v := range vals {
@@ -70,6 +74,8 @@ func hashVals(vals []int64) uint64 {
 
 // grow extends the arena by n values without the temporary slice an
 // append(make(...)) would allocate.
+//
+//statcheck:hot
 func (t *joinTable) grow(n int) []int64 {
 	need := len(t.arena) + n
 	if cap(t.arena) < need {
@@ -96,6 +102,8 @@ func (t *joinTable) appendRow(row []int64) {
 
 // appendBatch transposes a column batch into the arena (row-major), applying
 // the batch's selection vector.
+//
+//statcheck:hot
 func (t *joinTable) appendBatch(b *Batch) {
 	n := b.NumRows()
 	if n == 0 {
@@ -117,6 +125,8 @@ func (t *joinTable) appendBatch(b *Batch) {
 }
 
 // slotKeyHash returns build row i's slot key and hash.
+//
+//statcheck:hot
 func (t *joinTable) slotKeyHash(i int) (uint64, uint64) {
 	row := t.arena[i*t.stride : (i+1)*t.stride]
 	if t.single {
@@ -131,6 +141,8 @@ func (t *joinTable) slotKeyHash(i int) (uint64, uint64) {
 }
 
 // probeKeyHash returns the slot key and hash for a probe-side key tuple.
+//
+//statcheck:hot
 func (t *joinTable) probeKeyHash(vals []int64) (uint64, uint64) {
 	if t.single {
 		v := uint64(vals[0])
@@ -171,6 +183,8 @@ func (p *jtPart) init(count int) {
 // insert links build row r (0-based) into the partition. Chains grow at the
 // tail, so they preserve build-input order. Slot arrays are sized to load
 // factor <= 1/2, so linear probing always terminates.
+//
+//statcheck:hot
 func (p *jtPart) insert(r int32, key, h uint64, next []int32) {
 	slot := h & p.mask
 	for {
@@ -273,6 +287,8 @@ func (t *joinTable) build(parallelism int) {
 // probeHead returns the 1-based head of the chain whose slot key matches, or
 // 0 when the key is absent. For multi-condition joins the caller must verify
 // each chain row with matches (slot keys are hashes there).
+//
+//statcheck:hot
 func (t *joinTable) probeHead(key, h uint64) int32 {
 	p := &t.parts[t.partOf(h)]
 	slot := h & p.mask
@@ -289,9 +305,13 @@ func (t *joinTable) probeHead(key, h uint64) int32 {
 }
 
 // chainNext returns the chain successor of 1-based build row r (0 = end).
+//
+//statcheck:hot
 func (t *joinTable) chainNext(r int32) int32 { return t.next[r-1] }
 
 // buildRow returns the arena slice of 1-based build row r.
+//
+//statcheck:hot
 func (t *joinTable) buildRow(r int32) []int64 {
 	off := int(r-1) * t.stride
 	return t.arena[off : off+t.stride]
@@ -300,6 +320,8 @@ func (t *joinTable) buildRow(r int32) []int64 {
 // matches verifies a chain row's key columns against the probe tuple; only
 // needed for multi-condition joins, where distinct tuples can share a mixed
 // slot key.
+//
+//statcheck:hot
 func (t *joinTable) matches(r int32, vals []int64) bool {
 	row := t.buildRow(r)
 	for i, k := range t.keyIdx {

@@ -285,6 +285,8 @@ func (j *BatchMergeJoin) clearRun() {
 // collectRun buffers every remaining left row whose key equals key, advancing
 // the left cursor past the run. Within a batch the run extent is found by
 // scanning the key column once and each column is appended with one copy.
+//
+//statcheck:hot
 func (j *BatchMergeJoin) collectRun(key int64) {
 	for c := range j.runCols {
 		j.runCols[c] = j.runCols[c][:0]
@@ -330,6 +332,8 @@ func (j *BatchMergeJoin) collectRun(key int64) {
 // NextBatch implements BatchOperator. Returned batches hold up to the
 // configured batch size and are reused across calls; a duplicate-key cross
 // product larger than a batch pauses and resumes across calls.
+//
+//statcheck:hot
 func (j *BatchMergeJoin) NextBatch() (*Batch, bool) {
 	if !j.started {
 		j.pullLeft()

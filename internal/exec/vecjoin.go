@@ -97,6 +97,8 @@ func (j *VecHashJoin) build() {
 
 // NextBatch implements BatchOperator. Returned batches hold up to the
 // configured batch size and are reused across calls.
+//
+//statcheck:hot
 func (j *VecHashJoin) NextBatch() (*Batch, bool) {
 	if !j.built {
 		j.build()

@@ -103,12 +103,12 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 		if err != nil {
 			return err
 		}
-		start := time.Now()
+		start := time.Now() //statcheck:ignore rawrand wall-clock timing column, not part of the result
 		s, err := builder.Build(spec, cfg.Method)
 		if err != nil {
 			return fmt.Errorf("experiments: %v with %v: %w", cfg.Method, hm, err)
 		}
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //statcheck:ignore rawrand wall-clock timing column, not part of the result
 		acc, err := workload.Evaluate(s, truth, queries)
 		if err != nil {
 			return err

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// droppedErrPkgs are the io and encoding packages whose errors carry data
+// loss: a discarded Close/Flush/Write/Encode error can silently truncate
+// persisted statistics or experiment tables.
+var droppedErrPkgs = map[string]bool{
+	"io":              true,
+	"os":              true,
+	"bufio":           true,
+	"text/tabwriter":  true,
+	"encoding/json":   true,
+	"encoding/csv":    true,
+	"encoding/gob":    true,
+	"encoding/binary": true,
+	"encoding/xml":    true,
+	"compress/gzip":   true,
+	"compress/flate":  true,
+	"compress/zlib":   true,
+	"archive/tar":     true,
+	"archive/zip":     true,
+}
+
+// checkDroppedErr flags statement-position calls (including deferred ones)
+// that silently discard an error returned by an io or encoding package.
+// Explicit discards (`_ = f.Close()`) are allowed: the point is that every
+// dropped error is visibly deliberate.
+func checkDroppedErr() Check {
+	return Check{
+		Name: "droppederr",
+		Doc:  "discarded error from an io/encoding call",
+		Run:  runDroppedErr,
+	}
+}
+
+func runDroppedErr(p *Package) []Diagnostic {
+	var out []Diagnostic
+	check := func(call *ast.CallExpr, deferred bool) {
+		if !returnsErrorLast(p.Info, call) {
+			return
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || !droppedErrPkgs[pkgPathOf(fn)] {
+			return
+		}
+		how := "discards"
+		if deferred {
+			how = "defers and discards"
+		}
+		out = append(out, p.diag("droppederr", call, fmt.Sprintf(
+			"%s the error from %s.%s; handle it or discard explicitly with `_ =`",
+			how, pathBase(pkgPathOf(fn)), fn.Name())))
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(stmt.X).(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.DeferStmt:
+				check(stmt.Call, true)
+			case *ast.GoStmt:
+				check(stmt.Call, false)
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkHotAlloc flags allocation inside functions annotated //statcheck:hot:
+//
+//   - make/new calls and slice/map composite literals, unless they sit under
+//     a capacity guard (an if whose condition consults cap() or len()), which
+//     is the sanctioned amortized-growth idiom;
+//   - append whose result is not assigned back to the slice it extends
+//     (silent reallocation that defeats buffer reuse);
+//   - function literals (closure allocation, and a comparator call per
+//     element when handed to sort);
+//   - arguments implicitly boxed into interface parameters (fmt-style calls
+//     and oracles taken by interface value allocate per call).
+//
+// Hot functions are checked non-transitively: the annotation marks exactly
+// the bodies that must stay allocation-free.
+func checkHotAlloc() Check {
+	return Check{
+		Name: "hotalloc",
+		Doc:  "allocation inside a //statcheck:hot function",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, fd := range p.Hot {
+		if fd.Body == nil {
+			continue
+		}
+		name := funcName(fd)
+		walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncLit:
+				out = append(out, p.diag("hotalloc", node,
+					fmt.Sprintf("closure allocated in hot function %s", name)))
+				return false // the literal's body is not the hot path itself
+			case *ast.CompositeLit:
+				t := p.Info.TypeOf(node)
+				if t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					if !underCapacityGuard(stack) {
+						out = append(out, p.diag("hotalloc", node,
+							fmt.Sprintf("unguarded %s literal allocates in hot function %s", kindWord(t), name)))
+					}
+				}
+			case *ast.CallExpr:
+				out = append(out, hotAllocCall(p, node, stack, name)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func hotAllocCall(p *Package, call *ast.CallExpr, stack []ast.Node, name string) []Diagnostic {
+	var out []Diagnostic
+	switch {
+	case isBuiltin(p.Info, call, "make"), isBuiltin(p.Info, call, "new"):
+		if !underCapacityGuard(stack) {
+			out = append(out, p.diag("hotalloc", call,
+				fmt.Sprintf("unguarded %s allocates in hot function %s; reuse a scratch buffer or guard growth with a cap() check",
+					unparen(call.Fun).(*ast.Ident).Name, name)))
+		}
+	case isBuiltin(p.Info, call, "append"):
+		if d, bad := appendNotInPlace(p, call, stack); bad {
+			out = append(out, p.diag("hotalloc", call, fmt.Sprintf("%s in hot function %s", d, name)))
+		}
+	case isConversion(p.Info, call):
+		if t := p.Info.TypeOf(call); t != nil && types.IsInterface(t) {
+			out = append(out, p.diag("hotalloc", call,
+				fmt.Sprintf("conversion to interface boxes its operand in hot function %s", name)))
+		}
+	default:
+		out = append(out, boxedArgs(p, call, name)...)
+	}
+	return out
+}
+
+// appendNotInPlace reports appends whose result does not flow back into the
+// first argument (x = append(x, ...) is the only allocation-safe shape once x
+// is preallocated).
+func appendNotInPlace(p *Package, call *ast.CallExpr, stack []ast.Node) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	src := types.ExprString(unparen(call.Args[0]))
+	if len(stack) > 0 {
+		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
+			for i, rhs := range as.Rhs {
+				if unparen(rhs) == call && i < len(as.Lhs) {
+					if types.ExprString(unparen(as.Lhs[i])) == src {
+						return "", false
+					}
+					return fmt.Sprintf("append(%s, ...) assigned to %s may reallocate per call",
+						src, types.ExprString(unparen(as.Lhs[i]))), true
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("append(%s, ...) result discarded or passed on; assign it back to %s", src, src), true
+}
+
+// boxedArgs flags arguments whose static type is concrete but whose parameter
+// is an interface: each such call boxes the value.
+func boxedArgs(p *Package, call *ast.CallExpr, name string) []Diagnostic {
+	sigT := p.Info.TypeOf(call.Fun)
+	if sigT == nil {
+		return nil
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			if call.Ellipsis.IsValid() {
+				pt = nil // forwarding a slice, no per-element boxing
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		out = append(out, p.diag("hotalloc", arg,
+			fmt.Sprintf("argument boxed into interface parameter in hot function %s", name)))
+	}
+	return out
+}
+
+// underCapacityGuard reports whether any enclosing if-statement's condition
+// consults cap() or len() — the amortized-growth escape hatch.
+func underCapacityGuard(stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				guarded = true
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+func kindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	default:
+		return "composite"
+	}
+}

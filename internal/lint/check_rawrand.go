@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rawRandAllowed names the math/rand package-level functions that construct
+// explicitly seeded generators rather than touching the global source.
+var rawRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// checkRawRand flags nondeterministic inputs in non-test code: calls to the
+// global math/rand source (rand.Intn, rand.Seed, ...) and wall-clock reads
+// (time.Now, time.Since). Experiment output must be reproducible from the
+// configured seed alone; methods on an explicitly seeded *rand.Rand are fine.
+// Wall-clock timing columns (solver elapsed times) are inherently
+// nondeterministic and carry //statcheck:ignore rawrand directives at the
+// point of use.
+func checkRawRand() Check {
+	return Check{
+		Name: "rawrand",
+		Doc:  "global math/rand source or wall-clock read in seed-deterministic code",
+		Run:  runRawRand,
+	}
+}
+
+func runRawRand(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch pkg := pkgPathOf(fn); {
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				if !rawRandAllowed[fn.Name()] {
+					out = append(out, p.diag("rawrand", sel, fmt.Sprintf(
+						"%s.%s draws from the global math/rand source; thread an explicitly seeded *rand.Rand instead",
+						pathBase(pkg), fn.Name())))
+				}
+			case pkg == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+				out = append(out, p.diag("rawrand", sel, fmt.Sprintf(
+					"time.%s reads the wall clock; experiment output must be seed-deterministic", fn.Name())))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkScratchShare enforces per-worker scratch isolation:
+//
+//   - values of a scratch type (annotated //statcheck:scratch, or any named
+//     type whose name contains "scratch") must not be captured by or passed
+//     into a goroutine launched with `go` — every worker forks its own;
+//   - sync primitives (Mutex, WaitGroup, Once, ...) must not be taken by
+//     value as parameters or receivers, which silently copies their state.
+func checkScratchShare() Check {
+	return Check{
+		Name: "scratchshare",
+		Doc:  "per-worker scratch escaping into a goroutine, or sync types copied by value",
+		Run:  runScratchShare,
+	}
+}
+
+func runScratchShare(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, goStmtScratch(p, node)...)
+			case *ast.FuncDecl:
+				out = append(out, syncByValue(p, node)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goStmtScratch flags scratch-typed variables that cross into a spawned
+// goroutine, either as call arguments or as free variables of a closure.
+func goStmtScratch(p *Package, g *ast.GoStmt) []Diagnostic {
+	var out []Diagnostic
+	for _, arg := range g.Call.Args {
+		if t := p.Info.TypeOf(arg); t != nil && p.isScratchType(t) {
+			out = append(out, p.diag("scratchshare", arg, fmt.Sprintf(
+				"per-worker scratch %s passed into a goroutine; fork a private scratch inside the worker instead",
+				types.ExprString(arg))))
+		}
+	}
+	lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return out
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		if within(obj.Pos(), lit) {
+			return true // declared inside the goroutine: private
+		}
+		if p.isScratchType(obj.Type()) {
+			seen[obj] = true
+			out = append(out, p.diag("scratchshare", id, fmt.Sprintf(
+				"per-worker scratch %q captured by a goroutine closure; declare it inside the goroutine", id.Name)))
+		}
+		return true
+	})
+	return out
+}
+
+// isScratchType reports whether t (or its pointee) is a scratch type: either
+// annotated //statcheck:scratch in this package, or named like one.
+func (p *Package) isScratchType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if p.Scratch[named.Obj()] {
+		return true
+	}
+	return strings.Contains(strings.ToLower(named.Obj().Name()), "scratch")
+}
+
+// syncByValue flags receivers and parameters that copy a sync primitive.
+func syncByValue(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	fields := []*ast.Field{}
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, field := range fields {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsSyncType(t, map[types.Type]bool{}) {
+			out = append(out, p.diag("scratchshare", field, fmt.Sprintf(
+				"%s copies a sync primitive by value in %s; pass a pointer", types.ExprString(field.Type), funcName(fd))))
+		}
+	}
+	return out
+}
+
+// containsSyncType reports whether t transitively embeds a type declared in
+// sync or sync/atomic (all of which are invalid to copy once used).
+func containsSyncType(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil {
+			if path := pkg.Path(); path == "sync" || path == "sync/atomic" {
+				return true
+			}
+		}
+		return containsSyncType(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncType(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Package droppederrfix seeds droppederr violations: silently discarded
+// errors from io and encoding calls, next to the handled and
+// explicitly-discarded allowed forms.
+package droppederrfix
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+)
+
+// Persist drops every error that carries data loss.
+func Persist(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want droppederr
+	w := bufio.NewWriter(f)
+	json.NewEncoder(w).Encode(v) // want droppederr
+	w.Flush()                    // want droppederr
+	return nil
+}
+
+// PersistChecked handles or explicitly discards every error: allowed.
+func PersistChecked(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

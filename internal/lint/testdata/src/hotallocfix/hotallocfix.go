@@ -1,0 +1,45 @@
+// Package hotallocfix seeds hotalloc violations inside //statcheck:hot
+// functions, alongside the two sanctioned shapes: capacity-guarded growth and
+// in-place append.
+package hotallocfix
+
+import "sort"
+
+type buf struct {
+	vals []int64
+}
+
+// grow is the sanctioned amortized-growth idiom: the make sits under a cap()
+// guard, so it must not be reported.
+//
+//statcheck:hot
+func (b *buf) grow(n int) {
+	if cap(b.vals) < n {
+		b.vals = make([]int64, n)
+	}
+	b.vals = b.vals[:n]
+}
+
+func sink(v interface{}) { _ = v }
+
+//statcheck:hot
+func (b *buf) fill(src []int64) {
+	scratch := make([]int64, len(src)) // want hotalloc
+	copy(scratch, src)
+	counts := map[int64]int{} // want hotalloc
+	for _, v := range src {
+		counts[v]++
+	}
+	pairs := []int64{1, 2, 3} // want hotalloc
+	_ = pairs
+	b.vals = append(b.vals, src...)
+	extended := append(b.vals, 9) // want hotalloc
+	_ = extended
+	sort.Slice(src, func(i, j int) bool { return src[i] < src[j] }) // want hotalloc hotalloc
+	sink(src[0])                                                    // want hotalloc
+}
+
+// cold is unannotated: it may allocate freely.
+func cold(n int) []int64 {
+	return make([]int64, n)
+}

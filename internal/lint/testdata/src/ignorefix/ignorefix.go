@@ -1,0 +1,12 @@
+// Package ignorefix carries two identical rawrand violations, one excused
+// with //statcheck:ignore: exactly the other one must be reported.
+package ignorefix
+
+import "time"
+
+// Stamp reads the wall clock twice; only the first read is excused.
+func Stamp() (int64, int64) {
+	a := time.Now().UnixNano() //statcheck:ignore rawrand excused in fixture
+	b := time.Now().UnixNano() // want rawrand
+	return a, b
+}

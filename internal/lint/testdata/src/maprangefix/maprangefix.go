@@ -1,0 +1,46 @@
+// Package maprangefix seeds maprange violations: it is loaded by lint_test.go
+// under a fake import path inside a result-producing package so the check
+// applies. Lines carrying want-markers must be reported.
+package maprangefix
+
+import "sort"
+
+// Emit ranges the map straight into the result: order-nondeterministic.
+func Emit(weights map[string]float64) []string {
+	var out []string
+	for k := range weights { // want maprange
+		out = append(out, k)
+	}
+	return out
+}
+
+// EmitSorted collects then sorts before use: the sanctioned idiom.
+func EmitSorted(weights map[string]float64) []string {
+	var out []string
+	for k := range weights {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum folds floats in iteration order; float addition is not associative, so
+// the total depends on the order even though no keys are emitted.
+func Sum(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights { // want maprange
+		total += w
+	}
+	return total
+}
+
+// SortedBefore sorts a different slice before the loop; the loop's own output
+// is still unsorted, so the range is a finding.
+func SortedBefore(weights map[string]float64, other []string) []string {
+	sort.Strings(other)
+	var out []string
+	for k := range weights { // want maprange
+		out = append(out, k)
+	}
+	return out
+}

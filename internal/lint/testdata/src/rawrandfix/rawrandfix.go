@@ -1,0 +1,23 @@
+// Package rawrandfix seeds rawrand violations: global math/rand draws and
+// wall-clock reads, next to the allowed explicitly-seeded generator.
+package rawrandfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global source and the wall clock.
+func Jitter() int64 {
+	n := rand.Int63n(100)                      // want rawrand
+	stamp := time.Now().UnixNano()             // want rawrand
+	elapsed := time.Since(time.Unix(0, stamp)) // want rawrand
+	return n + int64(elapsed)
+}
+
+// Seeded threads an explicitly seeded generator: methods on a *rand.Rand are
+// deterministic given the seed and must not be reported.
+func Seeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63n(100)
+}

@@ -1,0 +1,53 @@
+// Package scratchfix seeds scratchshare violations: per-worker scratch
+// escaping into goroutines (by argument and by closure capture) and sync
+// primitives copied by value.
+package scratchfix
+
+import "sync"
+
+type workScratch struct {
+	m []float64
+}
+
+// buffers is scratch by annotation rather than by name.
+//
+//statcheck:scratch
+type buffers struct {
+	tmp []int64
+}
+
+func work(s *workScratch) { _ = s }
+
+// Fan shares one scratch across every worker.
+func Fan(jobs []int, s *workScratch, b *buffers) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go work(s) // want scratchshare
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = b.tmp // want scratchshare
+	}()
+	wg.Wait()
+}
+
+// Isolated declares a private scratch inside each worker: allowed.
+func Isolated(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s workScratch
+			_ = s
+		}()
+	}
+	wg.Wait()
+}
+
+// CopyLock takes the WaitGroup by value, silently copying its state.
+func CopyLock(wg sync.WaitGroup) { // want scratchshare
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -78,7 +79,7 @@ type nodeInfo struct {
 }
 
 func solve(tasks []Task, env Env, opts Options, mode searchMode, budget time.Duration) (Schedule, Stats, error) {
-	start := time.Now()
+	start := time.Now() //statcheck:ignore rawrand Stats.Elapsed and the Hybrid budget are wall-clock by contract
 	if err := env.validate(tasks); err != nil {
 		return Schedule{}, Stats{}, err
 	}
@@ -113,9 +114,10 @@ func solve(tasks []Task, env Env, opts Options, mode searchMode, budget time.Dur
 		}
 		curPos := posFromKey(cur.key, len(tasks))
 		if isGoal(curPos, tasks) {
-			stats.Elapsed = time.Since(start)
+			stats.Elapsed = time.Since(start) //statcheck:ignore rawrand solver-effort report, not part of the schedule
 			return reconstruct(info, cur.key, ci.g, tasks), stats, nil
 		}
+		//statcheck:ignore rawrand the Hybrid time budget is wall-clock by definition (Section 4.3.2)
 		if mode == searchHybrid && !greedyNow && time.Since(start) > budget {
 			greedyNow = true
 			stats.SwitchedToGreedy = true
@@ -141,8 +143,17 @@ func expand(curKey string, curPos []int, ci *nodeInfo, tasks []Task, env Env, op
 			byTable[t.Seq[p]] = append(byTable[t.Seq[p]], ti)
 		}
 	}
+	// Expand tables in sorted order: successor generation order decides how
+	// equal-f ties pop off the OPEN heap, so map-order iteration here would
+	// make the returned (still optimal) schedule vary run to run.
+	tables := make([]string, 0, len(byTable))
+	for table := range byTable {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
 	npos := make([]int, len(curPos))
-	for table, candidates := range byTable {
+	for _, table := range tables {
+		candidates := byTable[table]
 		maxK := len(candidates)
 		if env.Memory > 0 {
 			if fit := int(env.Memory / env.SampleSize[table]); fit < maxK {

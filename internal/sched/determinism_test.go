@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// tieEnv builds a deliberately tie-heavy instance: every table has the same
+// scan cost and sample size, so many A* states share identical f-values and
+// only deterministic tie-breaking keeps the returned schedule stable.
+func tieEnv() ([]Task, Env) {
+	tasks := []Task{
+		{ID: "s1", Seq: []string{"T1", "T2", "T3"}},
+		{ID: "s2", Seq: []string{"T2", "T3", "T4"}},
+		{ID: "s3", Seq: []string{"T3", "T4", "T1"}},
+		{ID: "s4", Seq: []string{"T4", "T1", "T2"}},
+	}
+	env := Env{
+		Cost:       map[string]float64{"T1": 5, "T2": 5, "T3": 5, "T4": 5},
+		SampleSize: map[string]float64{"T1": 10, "T2": 10, "T3": 10, "T4": 10},
+		Memory:     20,
+	}
+	return tasks, env
+}
+
+// TestSchedulesRunToRunStable: with equal costs the solvers face constant
+// f-value ties; successor expansion over sorted table names must make the
+// returned schedule identical on every run. A regression here means a map
+// range crept back into the expansion or cost-model paths.
+func TestSchedulesRunToRunStable(t *testing.T) {
+	tasks, env := tieEnv()
+	solvers := map[string]func() (Schedule, error){
+		"Opt": func() (Schedule, error) {
+			s, _, err := Opt(tasks, env)
+			return s, err
+		},
+		"OptAllSubsets": func() (Schedule, error) {
+			s, _, err := OptWith(tasks, env, Options{AllSubsets: true})
+			return s, err
+		},
+		"Greedy": func() (Schedule, error) {
+			s, _, err := Greedy(tasks, env)
+			return s, err
+		},
+	}
+	for name, solve := range solvers {
+		first, err := solve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Validate(first, tasks, env); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", name, err)
+		}
+		for i := 0; i < 10; i++ {
+			again, err := solve()
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, i, err)
+			}
+			if got, want := again.String(), first.String(); got != want {
+				t.Fatalf("%s run %d: schedule changed across runs:\n first: %s\n again: %s",
+					name, i, want, got)
+			}
+		}
+	}
+}
+
+// TestEnvFromSizesDeterministicError: with several invalid tables the
+// reported one must not depend on map iteration order.
+func TestEnvFromSizesDeterministicError(t *testing.T) {
+	sizes := map[string]int{"TB": -1, "TA": -1, "TC": -1, "TD": 100}
+	for i := 0; i < 10; i++ {
+		_, err := EnvFromSizes(sizes, 0.001, 0.01, 0)
+		if err == nil {
+			t.Fatal("want error for negative sizes")
+		}
+		if !strings.Contains(err.Error(), `"TA"`) {
+			t.Fatalf("run %d: error should name the first table in sorted order, got: %v", i, err)
+		}
+	}
+}

@@ -218,7 +218,15 @@ func EnvFromSizes(sizes map[string]int, costPerRow, sampleRate, memory float64) 
 		return Env{}, fmt.Errorf("sched: cost per row and sample rate must be positive")
 	}
 	env := Env{Cost: map[string]float64{}, SampleSize: map[string]float64{}, Memory: memory}
-	for name, n := range sizes {
+	// Visit tables in sorted order so validation errors name the same table
+	// on every run regardless of map iteration order.
+	names := make([]string, 0, len(sizes))
+	for name := range sizes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := sizes[name]
 		if n < 0 {
 			return Env{}, fmt.Errorf("sched: negative size for table %q", name)
 		}

@@ -1,0 +1,58 @@
+package scs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSolveRunToRunStable: unit costs make every optimal supersequence of
+// these inputs cost the same, so A* is all ties; sorted successor generation
+// must pin the returned sequence. A regression here means symbol or successor
+// enumeration fell back to map iteration order.
+func TestSolveRunToRunStable(t *testing.T) {
+	seqs := [][]string{
+		{"a", "b", "c", "d"},
+		{"b", "c", "d", "a"},
+		{"c", "d", "a", "b"},
+		{"d", "a", "b", "c"},
+	}
+	first, err := Solve(seqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seqs {
+		if !IsSupersequence(first.Sequence, s) {
+			t.Fatalf("result %v is not a supersequence of %v", first.Sequence, s)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		again, err := Solve(seqs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Cost != first.Cost {
+			t.Fatalf("run %d: cost %v != %v", i, again.Cost, first.Cost)
+		}
+		if !reflect.DeepEqual(again.Sequence, first.Sequence) {
+			t.Fatalf("run %d: sequence changed across runs:\n first: %v\n again: %v",
+				i, first.Sequence, again.Sequence)
+		}
+	}
+}
+
+// TestSolveDeterministicCostError: with several symbols missing from the
+// cost map, the reported symbol must not depend on map iteration order (the
+// symbol list is validated in sorted order).
+func TestSolveDeterministicCostError(t *testing.T) {
+	seqs := [][]string{{"z", "y", "x"}, {"x", "z"}}
+	for i := 0; i < 10; i++ {
+		_, err := Solve(seqs, Options{Cost: map[string]float64{"z": 1}})
+		if err == nil {
+			t.Fatal("want error for missing costs")
+		}
+		want := `scs: no cost for symbol "x"`
+		if err.Error() != want {
+			t.Fatalf("run %d: got %q, want %q", i, err, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package scs
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -60,9 +61,18 @@ func Solve(seqs [][]string, opts Options) (Result, error) {
 			syms[c] = true
 		}
 	}
+	// symList is sorted so every downstream walk — cost validation, the
+	// floating-point heuristic sum, successor generation — is independent of
+	// map iteration order; with equal-cost ties the A* result is then stable
+	// run to run.
+	symList := make([]string, 0, len(syms))
+	for c := range syms {
+		symList = append(symList, c)
+	}
+	sort.Strings(symList)
 	cost := func(c string) float64 { return 1 }
 	if opts.Cost != nil {
-		for c := range syms {
+		for _, c := range symList {
 			if w, ok := opts.Cost[c]; !ok {
 				return Result{}, fmt.Errorf("scs: no cost for symbol %q", c)
 			} else if w <= 0 {
@@ -74,10 +84,6 @@ func Solve(seqs [][]string, opts Options) (Result, error) {
 
 	// suffix counts: cnt[i][p][c] = occurrences of c in seqs[i][p:].
 	cnt := make([]map[string][]int, len(seqs))
-	symList := make([]string, 0, len(syms))
-	for c := range syms {
-		symList = append(symList, c)
-	}
 	for i, s := range seqs {
 		cnt[i] = map[string][]int{}
 		for _, c := range symList {
@@ -141,13 +147,20 @@ func Solve(seqs [][]string, opts Options) (Result, error) {
 		}
 		// Successors: one per distinct next symbol, advancing every sequence
 		// whose next element is that symbol (dominant in unconstrained SCS).
-		next := map[string]bool{}
+		// Symbols expand in sorted order so ties in f are broken identically
+		// on every run.
+		seen := map[string]bool{}
+		var next []string
 		for i, p := range cur.pos {
 			if p < len(seqs[i]) {
-				next[seqs[i][p]] = true
+				if c := seqs[i][p]; !seen[c] {
+					seen[c] = true
+					next = append(next, c)
+				}
 			}
 		}
-		for c := range next {
+		sort.Strings(next)
+		for _, c := range next {
 			npos := make([]int, len(cur.pos))
 			copy(npos, cur.pos)
 			for i, p := range npos {

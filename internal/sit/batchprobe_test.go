@@ -43,9 +43,10 @@ func TestMultiplicityBatchMatchesScalar(t *testing.T) {
 		"index": indexOracle{idx: btree.Build(xs)},
 	}
 	probes := randVals(rng, 1500, -400, 800) // unsorted, duplicates, misses
+	var scratch probeScratch
 	for name, o := range oracles {
 		out := make([]float64, len(probes))
-		o.multiplicityBatch(probes, out)
+		o.multiplicityBatch(probes, out, &scratch)
 		for i, v := range probes {
 			if want := o.multiplicity([]int64{v}); out[i] != want {
 				t.Fatalf("%s: batch m(%d) = %v, scalar = %v", name, v, out[i], want)
@@ -53,7 +54,7 @@ func TestMultiplicityBatchMatchesScalar(t *testing.T) {
 		}
 	}
 	var empty []int64
-	oracles["hist"].multiplicityBatch(empty, nil) // must not panic
+	oracles["hist"].multiplicityBatch(empty, nil, &scratch) // must not panic
 }
 
 // vmPair records one consumer add call.

@@ -80,14 +80,30 @@ func resolveColumns(jobs []*scanJob) []string {
 	return cols
 }
 
-// probeScratch holds the per-scanner multiplicity buffers reused across
-// chunks: m accumulates the per-row predicate product, tmp receives one
-// predicate's batched answers before they are folded into m. One scratch
-// lives per scanning goroutine, so feedChunk allocates nothing per chunk.
+// probeScratch holds the per-scanner buffers reused across chunks: m
+// accumulates the per-row predicate product, tmp receives one predicate's
+// batched answers before they are folded into m, and the remaining slices
+// back the radix argsort and answer vectors of the batched m-Oracles. One
+// scratch lives per scanning goroutine and is handed down through every
+// batched probe, so feedChunk allocates nothing per chunk. The oracles
+// themselves are shared across workers and must stay stateless — scratch is
+// always caller-supplied, never stored on an oracle.
+//
+//statcheck:scratch
 type probeScratch struct {
 	m, tmp []float64
+	// radix argsort buffers (sortedProbe): biased keys and permutation plus
+	// their ping-pong partners, and the decoded ascending values.
+	keys, keys2 []uint64
+	perm, perm2 []int32
+	sorted      []int64
+	// answer buffers for multiplicityBatch: per-sorted-probe multiplicities
+	// (histogram oracles) and duplicate counts (index oracles).
+	f64 []float64
+	i64 []int64
 }
 
+//statcheck:hot
 func (s *probeScratch) grow(n int) {
 	if cap(s.m) < n {
 		s.m = make([]float64, n)
@@ -95,6 +111,30 @@ func (s *probeScratch) grow(n int) {
 	}
 	s.m = s.m[:n]
 	s.tmp = s.tmp[:n]
+}
+
+// growProbe sizes the argsort and answer buffers for an n-element probe
+// vector; called by sortedProbe so direct multiplicityBatch callers need no
+// setup beyond a zero-value scratch.
+//
+//statcheck:hot
+func (s *probeScratch) growProbe(n int) {
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
+		s.keys2 = make([]uint64, n)
+		s.perm = make([]int32, n)
+		s.perm2 = make([]int32, n)
+		s.sorted = make([]int64, n)
+		s.f64 = make([]float64, n)
+		s.i64 = make([]int64, n)
+	}
+	s.keys = s.keys[:n]
+	s.keys2 = s.keys2[:n]
+	s.perm = s.perm[:n]
+	s.perm2 = s.perm2[:n]
+	s.sorted = s.sorted[:n]
+	s.f64 = s.f64[:n]
+	s.i64 = s.i64[:n]
 }
 
 // feedChunk streams one chunk into the given per-job consumers (dst[i]
@@ -109,6 +149,8 @@ func (s *probeScratch) grow(n int) {
 // to the row-at-a-time computation (the product is accumulated in the same
 // predicate order, 1*x == x, and rows whose running product hits zero are
 // skipped in both forms).
+//
+//statcheck:hot
 func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer, s *probeScratch) {
 	n := ch.Len()
 	s.grow(n)
@@ -117,7 +159,7 @@ func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer, s *probeScratch) 
 		m := s.m
 		// Single batchable predicate: probe straight into m.
 		if len(j.preds) == 1 && j.preds[0].bo != nil {
-			j.preds[0].bo.multiplicityBatch(ch.Cols[j.preds[0].cols[0]], m)
+			j.preds[0].bo.multiplicityBatch(ch.Cols[j.preds[0].cols[0]], m, s)
 		} else {
 			for r := range m {
 				m[r] = 1
@@ -125,7 +167,7 @@ func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer, s *probeScratch) 
 			for pi := range j.preds {
 				p := &j.preds[pi]
 				if p.bo != nil {
-					p.bo.multiplicityBatch(ch.Cols[p.cols[0]], s.tmp)
+					p.bo.multiplicityBatch(ch.Cols[p.cols[0]], s.tmp, s)
 					for r := range m {
 						m[r] *= s.tmp[r]
 					}

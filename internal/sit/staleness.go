@@ -104,24 +104,24 @@ func (b *Builder) RefreshStale(sits []*SIT, threshold float64) ([]*SIT, []string
 		// the stale SIT's tables, so the rebuild cannot silently reuse stale
 		// intermediate results; likewise the base histograms, 2-D histograms
 		// and indexes of those tables.
-		for key, cached := range b.sits {
+		for key, cached := range b.sits { //statcheck:ignore maprange per-key delete, order-independent
 			if sharesTable(cached.Spec, s.Spec) {
 				delete(b.sits, key)
 			}
 		}
 		for _, table := range s.Spec.Expr.Tables() {
 			prefix := table + "."
-			for key := range b.base {
+			for key := range b.base { //statcheck:ignore maprange per-key delete, order-independent
 				if strings.HasPrefix(key, prefix) {
 					delete(b.base, key)
 				}
 			}
-			for key := range b.h2d {
+			for key := range b.h2d { //statcheck:ignore maprange per-key delete, order-independent
 				if strings.HasPrefix(key, prefix) {
 					delete(b.h2d, key)
 				}
 			}
-			for key := range b.idx {
+			for key := range b.idx { //statcheck:ignore maprange per-key delete, order-independent
 				if strings.HasPrefix(key, prefix) {
 					delete(b.idx, key)
 				}

@@ -24,8 +24,12 @@ type oracle interface {
 // chunk and index oracles follow the B+tree leaf chain with one descent per
 // distinct-key jump — and scatter the answers back through the permutation.
 // Every answer is bit-identical to the scalar multiplicity call.
+//
+// The caller supplies the probeScratch backing the argsort and answer
+// buffers: oracles are shared across scanning goroutines and must hold no
+// per-probe state of their own.
 type batchOracle interface {
-	multiplicityBatch(vals []int64, out []float64)
+	multiplicityBatch(vals []int64, out []float64, s *probeScratch)
 }
 
 // sortedProbe argsorts the probe vector: perm is the index permutation and
@@ -36,13 +40,18 @@ type batchOracle interface {
 // histograms, and passes whose byte is constant across the vector are
 // skipped, so vectors from a narrow key domain need only one or two scatter
 // passes.
-func sortedProbe(vals []int64) (perm []int32, sorted []int64) {
+//
+// The returned slices alias the scratch and are valid until its next use.
+//
+//statcheck:hot
+func (s *probeScratch) sortedProbe(vals []int64) (perm []int32, sorted []int64) {
 	n := len(vals)
 	if n == 0 {
 		return nil, nil
 	}
-	keys := make([]uint64, n)
-	perm = make([]int32, n)
+	s.growProbe(n)
+	keys := s.keys
+	perm = s.perm
 	for i, v := range vals {
 		keys[i] = uint64(v) ^ (1 << 63)
 		perm[i] = int32(i)
@@ -53,8 +62,8 @@ func sortedProbe(vals []int64) (perm []int32, sorted []int64) {
 			counts[b][byte(k>>(8*b))]++
 		}
 	}
-	src, dst := keys, make([]uint64, n)
-	ps, pd := perm, make([]int32, n)
+	src, dst := keys, s.keys2
+	ps, pd := perm, s.perm2
 	for b := uint(0); b < 8; b++ {
 		c := &counts[b]
 		if c[byte(keys[0]>>(8*b))] == int32(n) {
@@ -77,7 +86,7 @@ func sortedProbe(vals []int64) (perm []int32, sorted []int64) {
 		src, dst = dst, src
 		ps, pd = pd, ps
 	}
-	sorted = make([]int64, n)
+	sorted = s.sorted
 	for i, k := range src {
 		sorted[i] = int64(k ^ (1 << 63))
 	}
@@ -96,9 +105,10 @@ func (o histOracle) multiplicity(vals []int64) float64 {
 	return histogram.ContainmentMultiplicity(o.child, o.parent, vals[0])
 }
 
-func (o histOracle) multiplicityBatch(vals []int64, out []float64) {
-	perm, sorted := sortedProbe(vals)
-	ms := make([]float64, len(sorted))
+//statcheck:hot
+func (o histOracle) multiplicityBatch(vals []int64, out []float64, s *probeScratch) {
+	perm, sorted := s.sortedProbe(vals)
+	ms := s.f64[:len(sorted)]
 	histogram.ContainmentMultiplicitySorted(o.child, o.parent, sorted, ms)
 	for i, p := range perm {
 		out[p] = ms[i]
@@ -115,9 +125,10 @@ func (o indexOracle) multiplicity(vals []int64) float64 {
 	return float64(o.idx.Count(vals[0]))
 }
 
-func (o indexOracle) multiplicityBatch(vals []int64, out []float64) {
-	perm, sorted := sortedProbe(vals)
-	counts := make([]int64, len(sorted))
+//statcheck:hot
+func (o indexOracle) multiplicityBatch(vals []int64, out []float64, s *probeScratch) {
+	perm, sorted := s.sortedProbe(vals)
+	counts := s.i64[:len(sorted)]
 	o.idx.CountsSorted(sorted, counts)
 	for i, p := range perm {
 		out[p] = float64(counts[i])
@@ -324,7 +335,7 @@ func (c *fullConsumer) merge(shard consumer) error {
 	if !ok {
 		return fmt.Errorf("sit: cannot merge %T into full consumer", shard)
 	}
-	for v, w := range s.weights {
+	for v, w := range s.weights { //statcheck:ignore maprange keyed float transfer, each sum is per-key independent
 		c.weights[v] += w
 	}
 	c.mass += s.mass
