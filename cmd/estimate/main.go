@@ -34,16 +34,17 @@ func main() {
 		truth    = flag.Bool("truth", false, "also execute the query for the exact cardinality")
 		parallel = flag.Int("parallel", 0, "shared-scan worker count for -build (0 = all CPUs, 1 = serial/reproducible)")
 		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
+		memFlag  = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *predStr, *builds, *method, *sitsFile, *saveFile, *csvDir, *truth, *parallel, *batch, *seed); err != nil {
+	if err := run(*queryStr, *predStr, *builds, *method, *sitsFile, *saveFile, *csvDir, *truth, *parallel, *batch, *memFlag, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "estimate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir string, truth bool, parallel, batch int, seed int64) error {
+func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir string, truth bool, parallel, batch int, memFlag string, seed int64) error {
 	if queryStr == "" {
 		return fmt.Errorf("missing -query")
 	}
@@ -63,10 +64,19 @@ func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir strin
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
 	cfg.BatchSize = batch
+	cfg.MemBudget, err = sits.ParseMemBudget(memFlag)
+	if err != nil {
+		return err
+	}
 	builder, err := sits.NewBuilder(cat, cfg)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := builder.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "estimate: closing spill store:", cerr)
+		}
+	}()
 	est, err := sits.NewEstimator(builder)
 	if err != nil {
 		return err

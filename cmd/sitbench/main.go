@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/sitstats/sits/internal/experiments"
+	"github.com/sitstats/sits/internal/mem"
 )
 
 func main() {
@@ -36,17 +37,23 @@ func main() {
 		optCap    = flag.Int("opt-cap", 2000000, "abort Opt after this many A* expansions (0 = unlimited); capped instances count as failures")
 		parallel  = flag.Int("parallel", 0, "worker count for experiment cells and shared scans (0 = all CPUs, 1 = serial/reproducible)")
 		batch     = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
+		memBudget = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
 		seed      = flag.Int64("seed", 11, "random seed")
 	)
 	flag.Parse()
-	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *batch, *seed); err != nil {
+	budget, err := mem.ParseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *batch, budget, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitbench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, tables int,
-	memory float64, hybridMS, optCap, parallel, batch int, seed int64) error {
+	memory float64, hybridMS, optCap, parallel, batch int, memBudget int64, seed int64) error {
 
 	schedCfg := experiments.DefaultSchedConfig()
 	schedCfg.Instances = instances
@@ -68,6 +75,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
+		cfg.MemBudget = memBudget
 		if buckets != "" {
 			var err error
 			cfg.Buckets, err = parseInts(buckets)
@@ -95,6 +103,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
+		cfg.MemBudget = memBudget
 		fmt.Println("== Section 5.1 (prose): uniform, independent join attributes ==")
 		res, err := experiments.RunFigure7(cfg)
 		if err != nil {
@@ -156,6 +165,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
+		cfg.MemBudget = memBudget
 		cells, err := experiments.RunHistogramAblation(cfg)
 		if err != nil {
 			return err
@@ -173,6 +183,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Seed = seed
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
+		cfg.MemBudget = memBudget
 		cells, err := experiments.RunAcyclic(cfg)
 		if err != nil {
 			return err

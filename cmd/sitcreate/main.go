@@ -35,16 +35,17 @@ func main() {
 		queries  = flag.Int("queries", 1000, "range queries used by -verify")
 		parallel = flag.Int("parallel", 0, "shared-scan worker count (0 = all CPUs, 1 = serial/reproducible)")
 		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
+		memFlag  = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *parallel, *batch, *seed); err != nil {
+	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *parallel, *batch, *memFlag, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitcreate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries, parallel, batch int, seed int64) error {
+func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries, parallel, batch int, memFlag string, seed int64) error {
 	if sitSpec == "" {
 		return fmt.Errorf("missing -sit (e.g. -sit \"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev\")")
 	}
@@ -66,10 +67,19 @@ func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, v
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
 	cfg.BatchSize = batch
+	cfg.MemBudget, err = sits.ParseMemBudget(memFlag)
+	if err != nil {
+		return err
+	}
 	b, err := sits.NewBuilder(cat, cfg)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := b.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "sitcreate: closing spill store:", cerr)
+		}
+	}()
 	start := time.Now() //statcheck:ignore rawrand wall-clock timing column, not part of the result
 	s, err := b.Build(spec, method)
 	if err != nil {

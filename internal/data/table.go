@@ -29,6 +29,12 @@ type Table struct {
 	name   string
 	cols   []Column
 	byName map[string]int
+	// gen counts mutations (appends, column replacement, and capacity growth,
+	// which may reallocate the backing arrays). Caches that retain derived
+	// state keyed on a table — sorted runs, join intermediates — record the
+	// generation they were built against and must assert it still matches
+	// before serving, so a mutated table can never satisfy a stale lookup.
+	gen uint64
 }
 
 // NewTable creates an empty table with the given column names. Column names
@@ -70,6 +76,13 @@ func MustNewTable(name string, columns ...string) *Table {
 
 // Name returns the table's name.
 func (t *Table) Name() string { return t.name }
+
+// Generation returns the table's mutation counter. It starts at zero and is
+// bumped by every operation that changes or may relocate the table's data
+// (AppendRow, Grow, AppendColumns, AppendBatch, SetColumn). Any cache keyed
+// on a table must capture the generation at build time and compare it on
+// lookup; a mismatch means the cached state is stale.
+func (t *Table) Generation() uint64 { return t.gen }
 
 // NumRows returns the number of rows in the table.
 func (t *Table) NumRows() int {
@@ -125,6 +138,7 @@ func (t *Table) AppendRow(vals ...int64) error {
 	for i, v := range vals {
 		t.cols[i].Vals = append(t.cols[i].Vals, v)
 	}
+	t.gen++
 	return nil
 }
 
@@ -138,6 +152,9 @@ func (t *Table) Grow(n int) {
 	if n <= 0 {
 		return
 	}
+	// Growth may reallocate the backing arrays, so slices handed out before
+	// Grow can go stale; that is a mutation as far as caches are concerned.
+	t.gen++
 	for i := range t.cols {
 		vals := t.cols[i].Vals
 		if cap(vals)-len(vals) >= n {
@@ -171,6 +188,7 @@ func (t *Table) AppendColumns(vals ...[]int64) error {
 	for i, v := range vals {
 		t.cols[i].Vals = append(t.cols[i].Vals, v...)
 	}
+	t.gen++
 	return nil
 }
 
@@ -190,6 +208,7 @@ func (t *Table) SetColumn(name string, vals []int64) error {
 		return fmt.Errorf("data: table %q has no column %q", t.name, name)
 	}
 	t.cols[i].Vals = vals
+	t.gen++
 	return nil
 }
 

@@ -382,3 +382,49 @@ func TestScannerMatchesRowsQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGenerationCounter pins the staleness contract: every mutating
+// operation bumps the table generation, and read-only accessors leave it
+// untouched, so a cache that captured Generation() can detect any
+// intervening mutation.
+func TestGenerationCounter(t *testing.T) {
+	tab := MustNewTable("G", "a", "b")
+	if g := tab.Generation(); g != 0 {
+		t.Fatalf("fresh table generation = %d, want 0", g)
+	}
+	last := tab.Generation()
+	step := func(name string, f func() error) {
+		t.Helper()
+		if err := f(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g := tab.Generation(); g <= last {
+			t.Fatalf("%s did not bump generation (still %d)", name, g)
+		}
+		last = tab.Generation()
+	}
+	step("AppendRow", func() error { return tab.AppendRow(1, 2) })
+	step("Grow", func() error { tab.Grow(64); return nil })
+	step("AppendColumns", func() error { return tab.AppendColumns([]int64{3}, []int64{4}) })
+	step("AppendBatch", func() error { return tab.AppendBatch([][]int64{{5}, {6}}) })
+	step("SetColumn", func() error { return tab.SetColumn("a", []int64{1, 3, 5}) })
+
+	// Read-only paths must not bump.
+	before := tab.Generation()
+	_ = tab.NumRows()
+	_, _ = tab.Column("a")
+	_, _, _, _ = tab.MinMax("b")
+	_, _ = tab.SortedCopy("b")
+	if g := tab.Generation(); g != before {
+		t.Fatalf("read-only access bumped generation: %d -> %d", before, g)
+	}
+
+	// Failed mutations must not bump either: a rejected append changed
+	// nothing, so caches built before it are still valid.
+	if err := tab.AppendRow(1); err == nil {
+		t.Fatal("AppendRow with wrong arity unexpectedly succeeded")
+	}
+	if g := tab.Generation(); g != before {
+		t.Fatalf("failed mutation bumped generation: %d -> %d", before, g)
+	}
+}

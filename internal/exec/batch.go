@@ -87,6 +87,8 @@ type BatchOperator interface {
 // BatchScan serves batches directly from a table's column storage: each batch
 // column is a sub-slice of the table column (no copying at all).
 type BatchScan struct {
+	table *data.Table
+	gen   uint64 // table generation when the column slices were bound
 	cols  []string
 	store [][]int64
 	n     int
@@ -107,6 +109,8 @@ func NewBatchScanSize(t *data.Table, batchSize int) *BatchScan {
 	}
 	names := t.ColumnNames()
 	s := &BatchScan{
+		table: t,
+		gen:   t.Generation(),
 		cols:  make([]string, len(names)),
 		store: make([][]int64, len(names)),
 		n:     t.NumRows(),

@@ -128,7 +128,16 @@ func (t *joinTable) appendBatch(b *Batch) {
 //
 //statcheck:hot
 func (t *joinTable) slotKeyHash(i int) (uint64, uint64) {
-	row := t.arena[i*t.stride : (i+1)*t.stride]
+	return t.rowKeyHash(t.arena[i*t.stride : (i+1)*t.stride])
+}
+
+// rowKeyHash returns the slot key and hash of one build-side row, wherever
+// it lives (arena, spill buffer, or run chunk). It is the single definition
+// of the build-side hash, so grace partitioning routes a key to the same
+// partition no matter which phase computed the hash.
+//
+//statcheck:hot
+func (t *joinTable) rowKeyHash(row []int64) (uint64, uint64) {
 	if t.single {
 		v := uint64(row[t.keyIdx[0]])
 		return v, mix64(v)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/query"
 )
 
@@ -18,6 +19,10 @@ type Options struct {
 	// size from the plan's total column width (AdaptiveBatchSize), so wide
 	// join outputs stay inside L2.
 	BatchSize int
+	// Gov, when non-nil, budgets the plan's operator memory: hash-join build
+	// sides and sort buffers reserve through it and spill (grace partitioning,
+	// external merge sort) when denied. Results are identical at any budget.
+	Gov *mem.Governor
 }
 
 // Materialize drains an operator into a table named name. Qualified column
@@ -139,8 +144,8 @@ func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, e
 				}
 				// Build on the new base table, probe with the accumulated
 				// intermediate result.
-				j, err := NewVecHashJoinSize(NewBatchScanSize(t, opts.BatchSize), root, opts.Parallelism,
-					opts.BatchSize, JoinCond{LeftCol: buildCol, RightCol: probeCol})
+				j, err := NewVecHashJoinMem(NewBatchScanSize(t, opts.BatchSize), root, opts.Parallelism,
+					opts.BatchSize, opts.Gov, JoinCond{LeftCol: buildCol, RightCol: probeCol})
 				if err != nil {
 					return nil, err
 				}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/mem"
 )
 
 // Operator is a pull-based row iterator. Rows returned by Next may be reused
@@ -376,11 +377,29 @@ type Sort struct {
 
 // NewSort sorts in by col ascending.
 func NewSort(in Operator, col string) (*Sort, error) {
-	bs, err := NewBatchSort(batchify(in), col)
+	return NewSortMem(in, col, nil, nil)
+}
+
+// NewSortMem is NewSort with a memory governor (the sort spills sorted runs
+// and k-way merges them when its buffer exceeds the budget; nil = unlimited)
+// and an optional sorted-run cache. The row stream is identical either way.
+func NewSortMem(in Operator, col string, gov *mem.Governor, cache *SortCache) (*Sort, error) {
+	bs, err := NewBatchSortMem(batchify(in), col, 0, gov, cache)
 	if err != nil {
 		return nil, err
 	}
 	return &Sort{Rows: NewRows(bs)}, nil
+}
+
+// NewHashJoinMem is a budget-aware row hash join: a Rows view over the
+// grace-capable VecHashJoin, which emits the identical row stream as HashJoin
+// at any budget (nil governor = unlimited, never spills).
+func NewHashJoinMem(left, right Operator, gov *mem.Governor, conds ...JoinCond) (Operator, error) {
+	j, err := NewVecHashJoinMem(batchify(left), batchify(right), 1, 0, gov, conds...)
+	if err != nil {
+		return nil, err
+	}
+	return NewRows(j), nil
 }
 
 // MergeJoin equi-joins two inputs sorted on their single join columns. It is

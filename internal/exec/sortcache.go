@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/sitstats/sits/internal/data"
+)
+
+// SortCache caches fully sorted column sets per (table, sort column),
+// mirroring the builder's join-intermediate cache: repeated merge-join and
+// SweepFull plans that sort the same base table on the same attribute skip
+// the drain and argsort entirely and serve the cached columns. Entries
+// record the table generation they were built against and are invalidated on
+// lookup when the table has mutated since (Grow/AppendBatch/... bump the
+// generation), so a stale sorted run can never be served.
+//
+// Only sorts that completed fully in memory are cached: a sort that spilled
+// under its memory grant by definition did not fit the budget, and caching
+// its merged result would hold the full working set in RAM behind the
+// Governor's back.
+type SortCache struct {
+	mu      sync.Mutex
+	entries map[sortCacheKey]*sortCacheEntry
+	hits    int64
+	misses  int64
+}
+
+type sortCacheKey struct {
+	table *data.Table
+	col   string // qualified sort column ("R.k")
+}
+
+type sortCacheEntry struct {
+	gen  uint64
+	cols [][]int64 // sorted columns, table declaration order
+}
+
+// NewSortCache creates an empty sorted-run cache.
+func NewSortCache() *SortCache {
+	return &SortCache{entries: map[sortCacheKey]*sortCacheEntry{}}
+}
+
+// lookup returns the cached sorted columns for (t, col) when present and
+// built against generation gen — the generation the consulting scan captured
+// when it bound its column slices, so a scan created before a mutation never
+// sees columns sorted after it and vice versa. A mismatching entry is
+// evicted and counts as a miss. Safe on a nil cache (always a miss).
+func (c *SortCache) lookup(t *data.Table, col string, gen uint64) ([][]int64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := sortCacheKey{table: t, col: col}
+	e, ok := c.entries[key]
+	if ok && e.gen == gen {
+		c.hits++
+		return e.cols, true
+	}
+	if ok {
+		delete(c.entries, key) // stale: the table mutated since the sort
+	}
+	c.misses++
+	return nil, false
+}
+
+// store caches sorted columns built against generation gen. Safe on a nil
+// cache (no-op). The cached slices are served to future sorts verbatim and
+// must never be mutated.
+func (c *SortCache) store(t *data.Table, col string, gen uint64, cols [][]int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[sortCacheKey{table: t, col: col}] = &sortCacheEntry{gen: gen, cols: cols}
+}
+
+// Stats returns the cache's lifetime hit and miss counts.
+func (c *SortCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of live entries.
+func (c *SortCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Clear drops every entry (stats are retained).
+func (c *SortCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[sortCacheKey]*sortCacheEntry{}
+}

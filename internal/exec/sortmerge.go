@@ -2,6 +2,8 @@ package exec
 
 import (
 	"sort"
+
+	"github.com/sitstats/sits/internal/mem"
 )
 
 // This file holds the batch-native sort and merge-join operators. Both used to
@@ -14,20 +16,45 @@ import (
 
 // BatchSort materializes its input column-wise and sorts it by one column
 // ascending. The sort is stable: rows with equal keys keep their input order,
-// matching the row-at-a-time sort it replaces bit for bit. Sorting argsorts an
-// index permutation over the key column and then gathers every column once,
-// so no row-major intermediate ever exists.
+// matching the row-at-a-time sort it replaces bit for bit.
+//
+// Under a memory governor BatchSort is an external merge sort: input buffers
+// grow only as far as the operator's grant allows; when a reservation is
+// denied the buffered rows are argsorted and spilled as one sorted run, and
+// after the drain the spilled runs are recombined by a loser-tree k-way
+// merge, breaking key ties by run index so the merged stream is bit-identical
+// to the in-memory stable sort at any budget. Without a governor (or when
+// everything fits the budget) the in-memory path is unchanged: argsort an
+// index permutation, gather every column once, serve zero-copy sub-slices.
+//
+// Sorts whose input is a whole-table scan consult the sorted-run cache (when
+// one is attached): a hit skips the drain and argsort entirely; a completed
+// in-memory sort populates it.
 type BatchSort struct {
-	in   BatchOperator
-	col  string
-	idx  int
-	size int
+	in    BatchOperator
+	col   string
+	idx   int
+	size  int
+	grant *mem.Grant
+	gov   *mem.Governor
+	cache *SortCache
 
 	sorted bool
-	cols   [][]int64 // materialized, sorted columns
-	n      int
-	pos    int
-	out    Batch
+	// In-memory mode: fully sorted columns served as sub-slices.
+	cols [][]int64
+	n    int
+	pos  int
+	out  Batch
+	// Drain state.
+	bufCols  [][]int64
+	bufBytes int64
+	perm     []int32
+	chunk    [][]int64
+	// Spill mode: sorted runs recombined by a loser-tree merge.
+	runs    []*mem.Run
+	cursors []*colCursor
+	lt      *loserTree
+	bufs    [][]int64
 }
 
 // NewBatchSort sorts in by col ascending, with an adaptive batch size derived
@@ -38,6 +65,12 @@ func NewBatchSort(in BatchOperator, col string) (*BatchSort, error) {
 
 // NewBatchSortSize is NewBatchSort with an explicit batch size (0 = adaptive).
 func NewBatchSortSize(in BatchOperator, col string, batchSize int) (*BatchSort, error) {
+	return NewBatchSortMem(in, col, batchSize, nil, nil)
+}
+
+// NewBatchSortMem is NewBatchSortSize with a memory governor (nil =
+// unlimited, never spills) and a sorted-run cache (nil = no caching).
+func NewBatchSortMem(in BatchOperator, col string, batchSize int, gov *mem.Governor, cache *SortCache) (*BatchSort, error) {
 	i, err := columnIndex(in.Columns(), col)
 	if err != nil {
 		return nil, err
@@ -45,7 +78,8 @@ func NewBatchSortSize(in BatchOperator, col string, batchSize int) (*BatchSort, 
 	if batchSize <= 0 {
 		batchSize = AdaptiveBatchSize(len(in.Columns()))
 	}
-	s := &BatchSort{in: in, col: col, idx: i, size: batchSize}
+	s := &BatchSort{in: in, col: col, idx: i, size: batchSize, gov: gov, cache: cache}
+	s.grant = gov.Grant("sort(" + col + ")")
 	s.out.Cols = make([][]int64, len(in.Columns()))
 	return s, nil
 }
@@ -53,29 +87,152 @@ func NewBatchSortSize(in BatchOperator, col string, batchSize int) (*BatchSort, 
 // Columns implements BatchOperator.
 func (s *BatchSort) Columns() []string { return s.in.Columns() }
 
-// sort drains the input into column buffers, argsorts an index permutation by
-// the key column, and gathers each column through the permutation. Presorted
-// inputs are detected and served as-is (no permutation, no gather).
+// drainBatch copies a batch's active rows into the drain buffers.
+func (s *BatchSort) drainBatch(b *Batch) {
+	if b.Sel != nil {
+		for c, col := range b.Cols {
+			for _, r := range b.Sel {
+				s.bufCols[c] = append(s.bufCols[c], col[r])
+			}
+		}
+	} else {
+		for c, col := range b.Cols {
+			s.bufCols[c] = append(s.bufCols[c], col...)
+		}
+	}
+}
+
+// argsortBuf stable-argsorts the buffered rows by the key column into s.perm.
+func (s *BatchSort) argsortBuf() {
+	n := len(s.bufCols[s.idx])
+	if cap(s.perm) < n {
+		s.perm = make([]int32, n)
+	}
+	perm := s.perm[:n]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	key := s.bufCols[s.idx]
+	sort.SliceStable(perm, func(i, j int) bool { return key[perm[i]] < key[perm[j]] })
+	s.perm = perm
+}
+
+// flushRun argsorts the buffered rows and spills them as one sorted run,
+// releasing the buffer's reservation. Runs are numbered in creation order,
+// which is input order — the merge's tie-break relies on that.
+func (s *BatchSort) flushRun() {
+	nc := len(s.bufCols)
+	n := len(s.bufCols[s.idx])
+	if n == 0 {
+		return
+	}
+	s.argsortBuf()
+	store, err := s.gov.Runs()
+	if err != nil {
+		spillFail("open run store", err)
+	}
+	w, err := store.Create("sortrun", nc)
+	if err != nil {
+		spillFail("create sorted run", err)
+	}
+	if s.chunk == nil {
+		s.chunk = make([][]int64, nc)
+		for c := range s.chunk {
+			s.chunk[c] = make([]int64, spillBatchRows)
+		}
+	}
+	for start := 0; start < n; start += spillBatchRows {
+		end := start + spillBatchRows
+		if end > n {
+			end = n
+		}
+		for c := 0; c < nc; c++ {
+			dst := s.chunk[c][:end-start]
+			src := s.bufCols[c]
+			for i := range dst {
+				dst[i] = src[s.perm[start+i]]
+			}
+			s.chunk[c] = dst
+		}
+		if err := w.WriteColumns(s.chunk); err != nil {
+			spillFail("write sorted run", err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		spillFail("finish sorted run", err)
+	}
+	s.runs = append(s.runs, run)
+	for c := range s.bufCols {
+		s.bufCols[c] = s.bufCols[c][:0]
+	}
+	s.grant.Release(s.bufBytes)
+	s.bufBytes = 0
+}
+
+// sort drains the input under the memory grant, spilling sorted runs when
+// the budget denies growth, then either finishes in memory (argsort + gather
+// — with a presorted fast path and sorted-run caching) or sets up the
+// loser-tree merge over the spilled runs.
 func (s *BatchSort) sort() {
+	s.sorted = true
 	nc := len(s.out.Cols)
-	cols := make([][]int64, nc)
+	// Sorted-run cache: a whole-table scan sorted on the same column serves
+	// the cached columns, skipping the drain and argsort entirely.
+	scan, fromScan := s.in.(*BatchScan)
+	if s.cache != nil && fromScan && scan.pos == 0 && scan.table != nil {
+		if cols, ok := s.cache.lookup(scan.table, s.col, scan.gen); ok {
+			s.cols = cols
+			s.n = 0
+			if nc > 0 {
+				s.n = len(cols[0])
+			}
+			return
+		}
+	}
+	s.bufCols = make([][]int64, nc)
 	for {
 		b, ok := s.in.NextBatch()
 		if !ok {
 			break
 		}
-		if b.Sel != nil {
-			for c, col := range b.Cols {
-				for _, r := range b.Sel {
-					cols[c] = append(cols[c], col[r])
-				}
-			}
-		} else {
-			for c, col := range b.Cols {
-				cols[c] = append(cols[c], col...)
-			}
+		need := int64(b.NumRows()) * int64(nc) * 8
+		if s.grant.TryReserve(need) {
+			s.bufBytes += need
+			s.drainBatch(b)
+			continue
 		}
+		// Budget denied: spill what is buffered, then retry; a single batch
+		// larger than the whole budget is force-admitted and spilled alone.
+		s.flushRun()
+		if s.grant.TryReserve(need) {
+			s.bufBytes += need
+			s.drainBatch(b)
+			continue
+		}
+		s.grant.Force(need)
+		s.bufBytes += need
+		s.drainBatch(b)
+		s.flushRun()
 	}
+
+	if len(s.runs) == 0 {
+		s.finishInMemory(scan, fromScan)
+		return
+	}
+	s.flushRun()
+	s.bufCols = nil
+	s.openMerge()
+}
+
+// finishInMemory completes the no-spill path: presorted detection, argsort +
+// gather, and sorted-run cache population for whole-table scans. The gather
+// needs a second copy of the working set; when even that reservation is
+// denied, the buffer is spilled as a single sorted run and served through
+// the (memory-light) merge path instead.
+func (s *BatchSort) finishInMemory(scan *BatchScan, fromScan bool) {
+	nc := len(s.out.Cols)
+	cols := s.bufCols
 	s.n = 0
 	if nc > 0 {
 		s.n = len(cols[0])
@@ -91,33 +248,89 @@ func (s *BatchSort) sort() {
 			break
 		}
 	}
-	if presorted {
+	switch {
+	case presorted:
 		s.cols = cols
-		s.sorted = true
+	case !s.grant.TryReserve(int64(s.n) * int64(nc) * 8):
+		s.flushRun()
+		s.bufCols = nil
+		s.openMerge()
 		return
-	}
-	perm := make([]int32, s.n)
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	sort.SliceStable(perm, func(i, j int) bool { return key[perm[i]] < key[perm[j]] })
-	s.cols = make([][]int64, nc)
-	for c := range cols {
-		src := cols[c]
-		dst := make([]int64, s.n)
-		for i, p := range perm {
-			dst[i] = src[p]
+	default:
+		s.argsortBuf()
+		s.cols = make([][]int64, nc)
+		for c := range cols {
+			src := cols[c]
+			dst := make([]int64, s.n)
+			for i, p := range s.perm[:s.n] {
+				dst[i] = src[p]
+			}
+			s.cols[c] = dst
 		}
-		s.cols[c] = dst
+		// The drain buffers are dead now; the grant keeps only the sorted
+		// copy it just reserved.
+		s.grant.Release(s.bufBytes)
+		s.bufBytes = int64(s.n) * int64(nc) * 8
 	}
-	s.sorted = true
+	s.bufCols = nil
+	if s.cache != nil && fromScan && scan.table != nil {
+		s.cache.store(scan.table, s.col, scan.gen, s.cols)
+	}
 }
 
-// NextBatch implements BatchOperator: batches are sub-slices of the sorted
-// columns (no copying after the sort).
+// openMerge opens a cursor per spilled run and builds the loser tree; called
+// after the drain and again on Reset.
+func (s *BatchSort) openMerge() {
+	if cap(s.cursors) < len(s.runs) {
+		s.cursors = make([]*colCursor, len(s.runs))
+	}
+	s.cursors = s.cursors[:len(s.runs)]
+	for i, run := range s.runs {
+		s.cursors[i] = openColCursor(run)
+	}
+	s.lt = newLoserTree(len(s.cursors), s.mergeLess)
+	if s.bufs == nil {
+		nc := len(s.out.Cols)
+		s.bufs = make([][]int64, nc)
+		for c := range s.bufs {
+			s.bufs[c] = make([]int64, 0, s.size)
+		}
+	}
+}
+
+// mergeLess orders merge cursors by (key, run index): runs are created in
+// input order, so the index tie-break reproduces the stable sort's order for
+// equal keys. Exhausted cursors and padding indices sort last.
+func (s *BatchSort) mergeLess(a, b int) bool {
+	var ca, cb *colCursor
+	if a < len(s.cursors) {
+		ca = s.cursors[a]
+	}
+	if b < len(s.cursors) {
+		cb = s.cursors[b]
+	}
+	if ca == nil || ca.done {
+		return false
+	}
+	if cb == nil || cb.done {
+		return true
+	}
+	ka, kb := ca.cols[s.idx][ca.pos], cb.cols[s.idx][cb.pos]
+	if ka != kb {
+		return ka < kb
+	}
+	return a < b
+}
+
+// NextBatch implements BatchOperator: in-memory batches are sub-slices of
+// the sorted columns (no copying after the sort); spilled batches are merged
+// from the runs into reused output buffers.
 func (s *BatchSort) NextBatch() (*Batch, bool) {
 	if !s.sorted {
 		s.sort()
+	}
+	if s.lt != nil {
+		return s.nextMerged()
 	}
 	if s.pos >= s.n {
 		return nil, false
@@ -134,9 +347,53 @@ func (s *BatchSort) NextBatch() (*Batch, bool) {
 	return &s.out, true
 }
 
+// nextMerged pulls the next output batch from the loser-tree merge over the
+// spilled sorted runs.
+//
+//statcheck:hot
+func (s *BatchSort) nextMerged() (*Batch, bool) {
+	nc := len(s.bufs)
+	for c := range s.bufs {
+		s.bufs[c] = s.bufs[c][:0]
+	}
+	emitted := 0
+	for emitted < s.size {
+		w := s.lt.winner()
+		cur := s.cursors[w]
+		if cur.done {
+			break
+		}
+		for c := 0; c < nc; c++ {
+			s.bufs[c] = append(s.bufs[c], cur.cols[c][cur.pos])
+		}
+		cur.advance()
+		s.lt.fix()
+		emitted++
+	}
+	if emitted == 0 {
+		return nil, false
+	}
+	copy(s.out.Cols, s.bufs)
+	s.out.Sel = nil
+	return &s.out, true
+}
+
 // Reset implements BatchOperator: the sorted data is retained and only the
-// output cursor rewinds, matching the original row sort's contract.
-func (s *BatchSort) Reset() { s.pos = 0 }
+// output cursor rewinds, matching the original row sort's contract. In spill
+// mode the runs are retained and the merge restarts over fresh cursors.
+func (s *BatchSort) Reset() {
+	s.pos = 0
+	if s.lt != nil {
+		for _, c := range s.cursors {
+			if !c.done {
+				if err := c.rd.Close(); err != nil {
+					spillFail("close sorted run", err)
+				}
+			}
+		}
+		s.openMerge()
+	}
+}
 
 // BatchMergeJoin equi-joins two batch streams sorted ascending on their single
 // join columns. Duplicate-key runs on the left are detected per batch and

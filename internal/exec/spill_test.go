@@ -1,0 +1,388 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/mem"
+)
+
+// The spill-equivalence property: every memory-governed operator produces a
+// byte-identical output stream at any budget — unlimited, a fraction of the
+// working set, or a pathological 1-byte budget that spills everything — and
+// at any parallelism level. The tests here drive each operator through all
+// three regimes against its in-memory reference.
+
+// spillJoinTables builds a build/probe table pair with heavy key duplication
+// and negative keys (keys in [-50, 50] over thousands of rows).
+func spillJoinTables(t *testing.T, nl, nr int) (*data.Table, *data.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	l := data.MustNewTable("L", "k", "k2", "v")
+	for i := 0; i < nl; i++ {
+		if err := l.AppendRow(rng.Int63n(101)-50, rng.Int63n(5), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := data.MustNewTable("R", "k", "k2", "u")
+	for i := 0; i < nr; i++ {
+		if err := r.AppendRow(rng.Int63n(101)-50, rng.Int63n(5), int64(-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l, r
+}
+
+// tableBytes is the operator-accounted size of a table's rows.
+func tableBytes(tab *data.Table) int64 {
+	return int64(tab.NumRows()) * int64(tab.NumCols()) * 8
+}
+
+// spillBudgets returns the three budget regimes for a working set: unlimited,
+// half the working set (partial spill), and 1 byte (everything spills).
+func spillBudgets(workingSet int64) []int64 {
+	return []int64{0, workingSet / 2, 1}
+}
+
+func TestGraceJoinEquivalence(t *testing.T) {
+	l, r := spillJoinTables(t, 3000, 4000)
+	cond := JoinCond{LeftCol: "L.k", RightCol: "R.k"}
+	refJ, err := NewVecHashJoin(NewBatchScan(l), NewBatchScan(r), 1, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := drainBatches(t, refJ)
+	if len(ref) == 0 {
+		t.Fatal("reference join is empty; the test data is broken")
+	}
+	for _, budget := range spillBudgets(tableBytes(l)) {
+		for _, par := range []int{1, 4} {
+			gov := mem.NewGovernor(budget)
+			j, err := NewVecHashJoinMem(NewBatchScan(l), NewBatchScan(r), par, 0, gov, cond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainBatches(t, j)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("budget=%d par=%d: join diverges from in-memory reference (%d vs %d rows)",
+					budget, par, len(got), len(ref))
+			}
+			if budget > 0 && j.grace == nil {
+				t.Fatalf("budget=%d: join never spilled; the budget regime is not exercised", budget)
+			}
+			if budget == 0 && j.grace != nil {
+				t.Fatal("unlimited budget must not spill")
+			}
+			// Reset must replay the identical stream (in grace mode this
+			// re-merges the retained output runs).
+			j.Reset()
+			again := drainBatches(t, j)
+			if !reflect.DeepEqual(again, ref) {
+				t.Fatalf("budget=%d par=%d: Reset replay diverges", budget, par)
+			}
+			if err := gov.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGraceJoinMultiCondEquivalence(t *testing.T) {
+	l, r := spillJoinTables(t, 2000, 2500)
+	conds := []JoinCond{
+		{LeftCol: "L.k", RightCol: "R.k"},
+		{LeftCol: "L.k2", RightCol: "R.k2"},
+	}
+	refJ, err := NewVecHashJoin(NewBatchScan(l), NewBatchScan(r), 1, conds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := drainBatches(t, refJ)
+	if len(ref) == 0 {
+		t.Fatal("reference multi-cond join is empty")
+	}
+	for _, budget := range spillBudgets(tableBytes(l)) {
+		for _, par := range []int{1, 4} {
+			gov := mem.NewGovernor(budget)
+			j, err := NewVecHashJoinMem(NewBatchScan(l), NewBatchScan(r), par, 0, gov, conds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := drainBatches(t, j); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("budget=%d par=%d: multi-cond join diverges (%d vs %d rows)",
+					budget, par, len(got), len(ref))
+			}
+			if err := gov.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGraceJoinEmptyInputs(t *testing.T) {
+	l, r := spillJoinTables(t, 1500, 1500)
+	empty := data.MustNewTable("E", "k", "k2", "v")
+	cond := JoinCond{LeftCol: "E.k", RightCol: "R.k"}
+	for _, budget := range []int64{0, 1} {
+		gov := mem.NewGovernor(budget)
+		// Empty build side.
+		j, err := NewVecHashJoinMem(NewBatchScan(empty), NewBatchScan(r), 1, 0, gov, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drainBatches(t, j); len(got) != 0 {
+			t.Fatalf("budget=%d: empty build side produced %d rows", budget, len(got))
+		}
+		// Empty probe side.
+		j2, err := NewVecHashJoinMem(NewBatchScan(l), NewBatchScan(empty), 1, 0, gov,
+			JoinCond{LeftCol: "L.k", RightCol: "E.k"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drainBatches(t, j2); len(got) != 0 {
+			t.Fatalf("budget=%d: empty probe side produced %d rows", budget, len(got))
+		}
+		if err := gov.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHashJoinMemEquivalence(t *testing.T) {
+	l, r := spillJoinTables(t, 2000, 3000)
+	cond := JoinCond{LeftCol: "L.k", RightCol: "R.k"}
+	refJ, err := NewHashJoin(NewTableScan(l), NewTableScan(r), cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := drain(t, refJ)
+	for _, budget := range spillBudgets(tableBytes(l)) {
+		gov := mem.NewGovernor(budget)
+		j, err := NewHashJoinMem(NewTableScan(l), NewTableScan(r), gov, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drain(t, j); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("budget=%d: row hash join diverges from HashJoin (%d vs %d rows)",
+				budget, len(got), len(ref))
+		}
+		if err := gov.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExternalSortEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := data.MustNewTable("S", "k", "a", "b")
+	for i := 0; i < 5000; i++ {
+		// Duplicate-heavy keys including negatives; payload records input
+		// order so stability violations are visible.
+		if err := tab.AppendRow(rng.Int63n(61)-30, int64(i), rng.Int63()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refS, err := NewBatchSort(NewBatchScan(tab), "S.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := drainBatches(t, refS)
+	for _, budget := range spillBudgets(tableBytes(tab)) {
+		gov := mem.NewGovernor(budget)
+		s, err := NewBatchSortMem(NewBatchScan(tab), "S.k", 0, gov, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainBatches(t, s)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("budget=%d: external sort diverges from in-memory stable sort", budget)
+		}
+		if budget > 0 && len(s.runs) == 0 {
+			t.Fatalf("budget=%d: sort never spilled; the budget regime is not exercised", budget)
+		}
+		s.Reset()
+		if again := drainBatches(t, s); !reflect.DeepEqual(again, ref) {
+			t.Fatalf("budget=%d: Reset replay diverges", budget)
+		}
+		if err := gov.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergeJoinUnderBudgetEquivalence(t *testing.T) {
+	l, r := spillJoinTables(t, 1500, 2000)
+	mkRef := func() Operator {
+		ls, err := NewSort(NewTableScan(l), "L.k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewSort(NewTableScan(r), "R.k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := NewMergeJoin(ls, rs, "L.k", "R.k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mj
+	}
+	ref := drain(t, mkRef())
+	if len(ref) == 0 {
+		t.Fatal("reference merge join is empty")
+	}
+	// The budget governs the merge join's input sorts: with external sorts
+	// underneath, the sorted streams — and hence the join — are identical.
+	for _, budget := range spillBudgets(tableBytes(l) + tableBytes(r)) {
+		gov := mem.NewGovernor(budget)
+		ls, err := NewSortMem(NewTableScan(l), "L.k", gov, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewSortMem(NewTableScan(r), "R.k", gov, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := NewMergeJoin(ls, rs, "L.k", "R.k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drain(t, mj); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("budget=%d: merge join over external sorts diverges (%d vs %d rows)",
+				budget, len(got), len(ref))
+		}
+		if err := gov.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGovernorPeakWithinBudget drives a join and a sort whose working sets
+// are 4x the budget and asserts the Governor's accounted peak never exceeds
+// the budget: the operators shed state instead of overcommitting. Batches
+// are kept small enough that no single reservation exceeds the whole budget
+// (which would trigger the documented Force escape hatch).
+func TestGovernorPeakWithinBudget(t *testing.T) {
+	l, r := spillJoinTables(t, 4096, 4096)
+	ws := tableBytes(l)
+	budget := ws / 4
+	gov := mem.NewGovernor(budget)
+	j, err := NewVecHashJoinMem(NewBatchScanSize(l, 64), NewBatchScanSize(r, 64), 2, 64, gov,
+		JoinCond{LeftCol: "L.k", RightCol: "R.k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		b, ok := j.NextBatch()
+		if !ok {
+			break
+		}
+		n += b.NumRows()
+	}
+	if n == 0 {
+		t.Fatal("join produced nothing")
+	}
+	if peak := gov.Peak(); peak > budget {
+		t.Fatalf("join: accounted peak %d exceeds budget %d", peak, budget)
+	}
+	if err := gov.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gov2 := mem.NewGovernor(budget)
+	s, err := NewBatchSortMem(NewBatchScanSize(l, 64), "L.k", 64, gov2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainBatches(t, s); len(got) != l.NumRows() {
+		t.Fatalf("sort returned %d rows, want %d", len(got), l.NumRows())
+	}
+	if peak := gov2.Peak(); peak > budget {
+		t.Fatalf("sort: accounted peak %d exceeds budget %d", peak, budget)
+	}
+	if err := gov2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedRunCacheHitAndMutationInvalidation(t *testing.T) {
+	tab := data.MustNewTable("C", "k", "v")
+	for i := int64(0); i < 2000; i++ {
+		if err := tab.AppendRow((i*7919)%100-50, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewSortCache()
+	sortOnce := func() [][]int64 {
+		s, err := NewBatchSortMem(NewBatchScan(tab), "C.k", 0, nil, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drainBatches(t, s)
+	}
+	first := sortOnce()
+	if hits, misses := cache.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("after cold sort: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	second := sortOnce()
+	if !reflect.DeepEqual(second, first) {
+		t.Fatal("cache hit serves a different stream than the cold sort")
+	}
+	if hits, _ := cache.Stats(); hits != 1 {
+		t.Fatalf("identical re-sort must hit the cache, hits=%d", hits)
+	}
+
+	// Mutate the table between two identical plans: the generation bump must
+	// evict the stale entry and the new sort must see the new row.
+	if err := tab.AppendRow(-1000, 9999); err != nil {
+		t.Fatal(err)
+	}
+	third := sortOnce()
+	if len(third) != len(first)+1 {
+		t.Fatalf("post-mutation sort has %d rows, want %d", len(third), len(first)+1)
+	}
+	if third[0][0] != -1000 || third[0][1] != 9999 {
+		t.Fatalf("post-mutation sort misses the appended row: first row %v", third[0])
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("stale entry must count as a miss: hits=%d misses=%d", hits, misses)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("stale entry must be evicted, len=%d", cache.Len())
+	}
+	// And the fresh entry serves the post-mutation stream.
+	fourth := sortOnce()
+	if !reflect.DeepEqual(fourth, third) {
+		t.Fatal("fresh cache entry diverges from post-mutation sort")
+	}
+}
+
+// TestSpilledSortDoesNotPopulateCache: a sort that exceeded its budget by
+// definition does not fit in RAM; caching its merged result would hold the
+// working set behind the Governor's back.
+func TestSpilledSortDoesNotPopulateCache(t *testing.T) {
+	tab := data.MustNewTable("D", "k", "v")
+	for i := int64(0); i < 3000; i++ {
+		if err := tab.AppendRow((3000-i)%97, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewSortCache()
+	gov := mem.NewGovernor(1)
+	s, err := NewBatchSortMem(NewBatchScan(tab), "D.k", 0, gov, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainBatches(t, s); len(got) != tab.NumRows() {
+		t.Fatalf("spilled sort returned %d rows, want %d", len(got), tab.NumRows())
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("spilled sort must not populate the cache, len=%d", cache.Len())
+	}
+	if err := gov.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+
+	"github.com/sitstats/sits/internal/mem"
 )
 
 // VecHashJoin is the vectorized equi-join: it drains the left (build) input
@@ -20,6 +22,14 @@ type VecHashJoin struct {
 
 	built bool
 	jt    *joinTable
+
+	// Memory governance. gov/grant are nil for un-budgeted joins; buildBytes
+	// tracks the arena's reservation, grace is non-nil once the build side
+	// overflowed the grant and the join switched to grace partitioning.
+	gov        *mem.Governor
+	grant      *mem.Grant
+	buildBytes int64
+	grace      *graceJoin
 
 	// Probe state, persisted across NextBatch calls so a long match chain can
 	// span several output batches.
@@ -79,6 +89,22 @@ func NewVecHashJoinSize(left, right BatchOperator, parallelism, batchSize int, c
 	return j, nil
 }
 
+// NewVecHashJoinMem is NewVecHashJoinSize with the build side budgeted
+// through gov: when the arena exceeds the operator's grant, the join spills
+// into grace hash partitioning (see gracejoin.go) and the output stays
+// byte-identical to the in-memory join. A nil governor means unlimited.
+func NewVecHashJoinMem(left, right BatchOperator, parallelism, batchSize int, gov *mem.Governor, conds ...JoinCond) (*VecHashJoin, error) {
+	j, err := NewVecHashJoinSize(left, right, parallelism, batchSize, conds...)
+	if err != nil {
+		return nil, err
+	}
+	j.gov = gov
+	if gov != nil {
+		j.grant = gov.Grant("hashjoin-build")
+	}
+	return j, nil
+}
+
 // Columns implements BatchOperator.
 func (j *VecHashJoin) Columns() []string { return j.cols }
 
@@ -89,9 +115,22 @@ func (j *VecHashJoin) build() {
 		if !ok {
 			break
 		}
-		j.jt.appendBatch(b)
+		if j.grace != nil {
+			j.grace.addBuildBatch(b)
+			continue
+		}
+		need := int64(b.NumRows()) * int64(j.jt.stride) * 8
+		if j.grant.TryReserve(need) {
+			j.buildBytes += need
+			j.jt.appendBatch(b)
+			continue
+		}
+		j.startGrace()
+		j.grace.addBuildBatch(b)
 	}
-	j.jt.build(j.parallelism)
+	if j.grace == nil {
+		j.jt.build(j.parallelism)
+	}
 	j.built = true
 }
 
@@ -102,6 +141,9 @@ func (j *VecHashJoin) build() {
 func (j *VecHashJoin) NextBatch() (*Batch, bool) {
 	if !j.built {
 		j.build()
+	}
+	if j.grace != nil {
+		return j.grace.nextBatch()
 	}
 	nl := j.jt.stride
 	for i := range j.bufs {
@@ -161,9 +203,14 @@ func (j *VecHashJoin) flush() *Batch {
 	return &j.out
 }
 
-// Reset implements BatchOperator: the hash table is retained and only the
-// probe side rewinds, matching HashJoin's contract.
+// Reset implements BatchOperator: the hash table (or, in grace mode, the
+// spilled output runs) is retained and only the probe stream rewinds,
+// matching HashJoin's contract.
 func (j *VecHashJoin) Reset() {
+	if j.grace != nil {
+		j.grace.reset()
+		return
+	}
 	j.right.Reset()
 	j.rb, j.rpos, j.chain = nil, 0, 0
 }

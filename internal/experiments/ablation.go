@@ -10,6 +10,7 @@ import (
 	"github.com/sitstats/sits/internal/datagen"
 	"github.com/sitstats/sits/internal/exec"
 	"github.com/sitstats/sits/internal/histogram"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/sit"
 	"github.com/sitstats/sits/internal/workload"
 )
@@ -31,6 +32,9 @@ type AblationConfig struct {
 	// BatchSize overrides the executor's rows-per-batch granularity (0 =
 	// adaptive from each plan's column width).
 	BatchSize int
+	// MemBudget caps each builder's and ground-truth plan's operator memory
+	// in bytes (0 = unlimited).
+	MemBudget int64
 }
 
 // DefaultAblationConfig returns a 3-way-chain ablation of SweepFull across
@@ -68,8 +72,12 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 	if err != nil {
 		return nil, err
 	}
+	gov := mem.NewGovernor(cfg.MemBudget)
 	truthVals, err := exec.AttrValuesOpts(cat, spec.Expr, spec.Table, spec.Attr,
-		exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
+		exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, Gov: gov})
+	if cerr := gov.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +107,7 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 		bcfg.Seed = cfg.Seed
 		bcfg.Parallelism = cfg.Parallelism
 		bcfg.BatchSize = cfg.BatchSize
+		bcfg.MemBudget = cfg.MemBudget
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
 			return err
@@ -114,7 +123,7 @@ func RunHistogramAblation(cfg AblationConfig) ([]AblationCell, error) {
 			return err
 		}
 		out[i] = AblationCell{HistMethod: hm, Accuracy: acc, BuildTime: elapsed}
-		return nil
+		return builder.Close()
 	})
 	if err != nil {
 		return nil, err

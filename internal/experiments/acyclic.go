@@ -9,6 +9,7 @@ import (
 
 	"github.com/sitstats/sits/internal/datagen"
 	"github.com/sitstats/sits/internal/exec"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/query"
 	"github.com/sitstats/sits/internal/sit"
 	"github.com/sitstats/sits/internal/workload"
@@ -30,6 +31,9 @@ type AcyclicConfig struct {
 	// BatchSize overrides the executor's rows-per-batch granularity (0 =
 	// adaptive from each plan's column width).
 	BatchSize int
+	// MemBudget caps each builder's and ground-truth plan's operator memory
+	// in bytes (0 = unlimited).
+	MemBudget int64
 }
 
 // DefaultAcyclicConfig returns the default snowflake experiment.
@@ -74,8 +78,12 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 	if err != nil {
 		return nil, err
 	}
+	gov := mem.NewGovernor(cfg.MemBudget)
 	truthVals, err := exec.AttrValuesOpts(cat, expr, "F", "a",
-		exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
+		exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, Gov: gov})
+	if cerr := gov.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +112,7 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 		bcfg.Seed = cfg.Seed
 		bcfg.Parallelism = cfg.Parallelism
 		bcfg.BatchSize = cfg.BatchSize
+		bcfg.MemBudget = cfg.MemBudget
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
 			return err
@@ -122,7 +131,7 @@ func RunAcyclic(cfg AcyclicConfig) ([]AcyclicCell, error) {
 			Method: m, Accuracy: acc, BuildTime: elapsed,
 			EstimatedCard: s.EstimatedCard, TrueCard: float64(truth.Len()),
 		}
-		return nil
+		return builder.Close()
 	})
 	if err != nil {
 		return nil, err

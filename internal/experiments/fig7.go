@@ -14,6 +14,7 @@ import (
 
 	"github.com/sitstats/sits/internal/datagen"
 	"github.com/sitstats/sits/internal/exec"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/query"
 	"github.com/sitstats/sits/internal/sit"
 	"github.com/sitstats/sits/internal/workload"
@@ -45,6 +46,10 @@ type Fig7Config struct {
 	// BatchSize overrides the executor's rows-per-batch granularity (0 =
 	// adaptive from each plan's column width).
 	BatchSize int
+	// MemBudget caps each builder's and ground-truth plan's operator memory
+	// in bytes (0 = unlimited); under a budget joins and sorts spill, with
+	// identical results.
+	MemBudget int64
 }
 
 // DefaultFig7Config returns the paper's setting, scaled to run in seconds.
@@ -139,8 +144,12 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		if err != nil {
 			return err
 		}
+		gov := mem.NewGovernor(cfg.MemBudget)
 		truthVals, err := exec.AttrValuesOpts(cat, spec.Expr, spec.Table, spec.Attr,
-			exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize})
+			exec.Options{Parallelism: cfg.Parallelism, BatchSize: cfg.BatchSize, Gov: gov})
+		if cerr := gov.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -186,6 +195,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 		bcfg.Seed = cfg.Seed
 		bcfg.Parallelism = cfg.Parallelism
 		bcfg.BatchSize = cfg.BatchSize
+		bcfg.MemBudget = cfg.MemBudget
 		builder, err := sit.NewBuilder(cat, bcfg)
 		if err != nil {
 			return err
@@ -211,6 +221,9 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 				EstimatedCard: s.EstimatedCard,
 				TrueCard:      float64(wd.truth.Len()),
 			})
+		}
+		if err := builder.Close(); err != nil {
+			return err
 		}
 		groups[gi] = cells
 		return nil

@@ -22,6 +22,38 @@ func Persist(path string, v any) error {
 	return nil
 }
 
+// SpillRun mimics a run-store spill writer: the temp file's Close and
+// Remove errors are exactly the data-loss path of an external run store,
+// where a truncated run silently corrupts a spilled partition.
+func SpillRun(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "*.run")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()           // want droppederr
+		os.Remove(f.Name()) // want droppederr
+		return err
+	}
+	f.Close() // want droppederr
+	return nil
+}
+
+// SpillRunChecked propagates the Close error and discards cleanup errors
+// explicitly: allowed.
+func SpillRunChecked(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "*.run")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(f.Name())
+		return err
+	}
+	return f.Close()
+}
+
 // PersistChecked handles or explicitly discards every error: allowed.
 func PersistChecked(path string, v any) error {
 	f, err := os.Create(path)

@@ -33,6 +33,45 @@ func Fan(jobs []int, s *workScratch, b *buffers) {
 	wg.Wait()
 }
 
+// spillScratch mimics a per-partition spill writer's row buffer: one
+// buffered writer per partition, never shared across partition workers.
+type spillScratch struct {
+	row []int64
+}
+
+func writePartition(s *spillScratch) { _ = s.row }
+
+// SpillPartitions hands one shared spill-writer scratch to every partition
+// worker — concurrent appends interleave rows across partitions.
+func SpillPartitions(parts []int, s *spillScratch) {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go writePartition(s) // want scratchshare
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.row // want scratchshare
+	}()
+	wg.Wait()
+}
+
+// SpillPartitionsIsolated forks a private writer scratch per partition:
+// allowed.
+func SpillPartitionsIsolated(parts []int) {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s spillScratch
+			writePartition(&s)
+		}()
+	}
+	wg.Wait()
+}
+
 // Isolated declares a private scratch inside each worker: allowed.
 func Isolated(jobs []int) {
 	var wg sync.WaitGroup

@@ -1,0 +1,276 @@
+// Package mem is the memory-governance layer of the engine: a process-wide
+// byte-budget Governor with per-operator grants, and a run store that spills
+// columnar batches to checksummed temp files when a grant is denied.
+//
+// The execution operators (hash join build sides, sort buffers) reserve their
+// working memory through a Grant before growing it. When the budget is
+// exhausted the reservation is denied and the operator spills part of its
+// state to the run store, releasing the bytes it no longer holds in RAM; the
+// engine's core invariant is that spilling never changes results — output is
+// bit-identical to the in-memory execution at any parallelism and any budget,
+// including pathological 1-byte budgets.
+//
+// All methods are safe on a nil *Governor and a nil *Grant, which behave as
+// an unlimited budget: operators thread the governor through unconditionally
+// and pay no branches for the common un-budgeted configuration.
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Governor owns one byte budget shared by every operator of an engine run
+// ("one budget across the engine"). Operators obtain per-operator Grants and
+// reserve/release bytes through them; the Governor tracks the total and the
+// high-water mark. A budget of 0 means unlimited: every reservation is
+// admitted and nothing ever spills.
+type Governor struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	peak   int64
+
+	store     *RunStore
+	storeErr  error
+	storeOnce sync.Once
+}
+
+// NewGovernor creates a Governor with the given byte budget (0 = unlimited).
+func NewGovernor(budget int64) *Governor {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Governor{budget: budget}
+}
+
+// Unlimited reports whether the governor admits every reservation. A nil
+// governor is unlimited.
+func (g *Governor) Unlimited() bool { return g == nil || g.budget == 0 }
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// Used returns the currently reserved bytes.
+func (g *Governor) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// Peak returns the high-water mark of reserved bytes over the governor's
+// lifetime, the quantity budget-compliance tests assert against.
+func (g *Governor) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// reserve attempts to admit n bytes. force admits even past the budget (for
+// bounded operator scratch that has no spill alternative).
+func (g *Governor) reserve(n int64, force bool) bool {
+	if g == nil || n <= 0 {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !force && g.budget > 0 && g.used+n > g.budget {
+		return false
+	}
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+	return true
+}
+
+func (g *Governor) release(n int64) {
+	if g == nil || n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.used -= n
+	if g.used < 0 {
+		g.used = 0
+	}
+}
+
+// Runs returns the governor's run store, creating its temp directory on
+// first use. Spill files live there until Close.
+func (g *Governor) Runs() (*RunStore, error) {
+	if g == nil {
+		return nil, fmt.Errorf("mem: nil governor has no run store")
+	}
+	g.storeOnce.Do(func() {
+		g.store, g.storeErr = NewRunStore("")
+	})
+	return g.store, g.storeErr
+}
+
+// Close releases the governor's run store (removing every spill file and the
+// temp directory). It is safe on a nil governor and safe to call twice.
+func (g *Governor) Close() error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	store := g.store
+	g.store = nil
+	g.mu.Unlock()
+	if store == nil {
+		return nil
+	}
+	return store.Close()
+}
+
+// Grant is one operator's window onto the governor: it tracks the bytes the
+// operator holds so Close can release any remainder, and carries the
+// operator's spill callback. A nil Grant admits everything.
+type Grant struct {
+	g    *Governor
+	name string
+	used int64
+	// spill is invoked when a reservation is denied; it should free memory
+	// (by spilling state to the run store and calling Release) and return
+	// nil, after which the reservation is retried once.
+	spill func() error
+}
+
+// Grant opens a named per-operator grant. The name appears in diagnostics
+// only. Works on a nil governor, returning a grant that admits everything.
+func (g *Governor) Grant(name string) *Grant {
+	return &Grant{g: g, name: name}
+}
+
+// SetSpill installs the grant's spill callback, invoked by Reserve when the
+// budget denies a reservation.
+func (gr *Grant) SetSpill(f func() error) {
+	if gr != nil {
+		gr.spill = f
+	}
+}
+
+// TryReserve attempts to reserve n bytes without spilling. It reports
+// whether the bytes were admitted.
+func (gr *Grant) TryReserve(n int64) bool {
+	if gr == nil {
+		return true
+	}
+	if !gr.g.reserve(n, false) {
+		return false
+	}
+	gr.used += n
+	return true
+}
+
+// Reserve reserves n bytes, invoking the grant's spill callback once if the
+// budget denies the request, then retrying. It reports whether the bytes fit
+// the budget; on false the caller must shed state itself (or use Force for
+// bounded scratch).
+func (gr *Grant) Reserve(n int64) (bool, error) {
+	if gr.TryReserve(n) {
+		return true, nil
+	}
+	if gr.spill != nil {
+		if err := gr.spill(); err != nil {
+			return false, err
+		}
+		if gr.TryReserve(n) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Force reserves n bytes unconditionally. It is for small bounded scratch
+// (read buffers, cursors) that has no spill alternative; the bytes still
+// count toward Used and Peak.
+func (gr *Grant) Force(n int64) {
+	if gr == nil {
+		return
+	}
+	gr.g.reserve(n, true)
+	gr.used += n
+}
+
+// Release returns n reserved bytes to the budget.
+func (gr *Grant) Release(n int64) {
+	if gr == nil {
+		return
+	}
+	if n > gr.used {
+		n = gr.used
+	}
+	gr.used -= n
+	gr.g.release(n)
+}
+
+// Used returns the bytes currently held by this grant.
+func (gr *Grant) Used() int64 {
+	if gr == nil {
+		return 0
+	}
+	return gr.used
+}
+
+// Close releases everything the grant still holds.
+func (gr *Grant) Close() {
+	if gr == nil {
+		return
+	}
+	gr.g.release(gr.used)
+	gr.used = 0
+}
+
+// ParseBytes parses a human byte-size string: a non-negative integer with an
+// optional binary suffix K, M, G, or T (case-insensitive, optionally
+// followed by "B" or "iB", e.g. "512M", "2GiB", "64kb"). "0" means
+// unlimited.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("mem: empty size")
+	}
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"TB", 1 << 40},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.tag) {
+			mult = suf.m
+			upper = strings.TrimSuffix(upper, suf.tag)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mem: bad size %q: %v", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("mem: size %q must be non-negative", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("mem: size %q overflows", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,260 @@
+package mem
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"1K":     1024,
+		"512M":   512 << 20,
+		"2G":     2 << 30,
+		"1T":     1 << 40,
+		"64kb":   64 << 10,
+		"2GiB":   2 << 30,
+		"10B":    10,
+		" 7 M ":  7 << 20,
+		"128MiB": 128 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "12Q", "9999999999999G"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestGovernorAccounting(t *testing.T) {
+	g := NewGovernor(1000)
+	gr := g.Grant("op")
+	if !gr.TryReserve(600) {
+		t.Fatal("first reservation denied")
+	}
+	if gr.TryReserve(600) {
+		t.Fatal("over-budget reservation admitted")
+	}
+	if got := g.Used(); got != 600 {
+		t.Fatalf("Used = %d, want 600", got)
+	}
+	gr.Release(200)
+	if !gr.TryReserve(500) {
+		t.Fatal("reservation denied after release")
+	}
+	if got, want := g.Used(), int64(900); got != want {
+		t.Fatalf("Used = %d, want %d", got, want)
+	}
+	gr.Force(500) // scratch overcommit is admitted and accounted
+	if got, want := g.Used(), int64(1400); got != want {
+		t.Fatalf("Used after Force = %d, want %d", got, want)
+	}
+	gr.Close()
+	if got := g.Used(); got != 0 {
+		t.Fatalf("Used after grant close = %d, want 0", got)
+	}
+	if got, want := g.Peak(), int64(1400); got != want {
+		t.Fatalf("Peak = %d, want %d", got, want)
+	}
+}
+
+func TestGovernorSpillCallback(t *testing.T) {
+	g := NewGovernor(100)
+	gr := g.Grant("op")
+	spills := 0
+	gr.SetSpill(func() error {
+		spills++
+		gr.Release(gr.Used()) // shed everything
+		return nil
+	})
+	if ok, err := gr.Reserve(80); err != nil || !ok {
+		t.Fatalf("Reserve(80) = %v, %v", ok, err)
+	}
+	// Denied once, spill callback frees the 80, retry succeeds.
+	if ok, err := gr.Reserve(90); err != nil || !ok {
+		t.Fatalf("Reserve(90) = %v, %v; want spill-then-admit", ok, err)
+	}
+	if spills != 1 {
+		t.Fatalf("spill callback ran %d times, want 1", spills)
+	}
+	// Request larger than the whole budget: spill cannot help.
+	if ok, err := gr.Reserve(200); err != nil || ok {
+		t.Fatalf("Reserve(200) = %v, %v; want denied", ok, err)
+	}
+}
+
+func TestNilGovernorIsUnlimited(t *testing.T) {
+	var g *Governor
+	if !g.Unlimited() {
+		t.Fatal("nil governor not unlimited")
+	}
+	gr := g.Grant("op")
+	if !gr.TryReserve(1 << 40) {
+		t.Fatal("nil-governor reservation denied")
+	}
+	gr.Release(1)
+	gr.Close()
+	if err := g.Close(); err != nil {
+		t.Fatalf("nil governor Close: %v", err)
+	}
+	var ngr *Grant
+	if !ngr.TryReserve(5) {
+		t.Fatal("nil grant denied")
+	}
+	ngr.Close()
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	store, err := NewRunStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := store.Create("trip", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][][]int64{
+		{{1, 2, 3}, {-4, -5, -6}},
+		{{7}, {8}},
+		{{}, {}}, // empty batches are dropped, not written
+		{{9, 10}, {11, 12}},
+	}
+	for _, b := range batches {
+		if err := w.WriteColumns(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Rows() != 6 {
+		t.Fatalf("run rows = %d, want 6", run.Rows())
+	}
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int64 = [][]int64{nil, nil}
+	for {
+		cols, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range cols {
+			got[c] = append(got[c], cols[c]...)
+		}
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{1, 2, 3, 7, 9, 10}, {-4, -5, -6, 8, 11, 12}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip = %v, want %v", got, want)
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Open(); err == nil {
+		t.Fatal("open after Remove unexpectedly succeeded")
+	}
+}
+
+// TestRunCorruptionDetected flips one payload byte and expects the CRC to
+// catch it.
+func TestRunCorruptionDetected(t *testing.T) {
+	store, err := NewRunStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := store.Create("crc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteColumns([][]int64{{100, 200, 300}}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(run.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-7] ^= 0x40 // inside the last value's bytes
+	if err := os.WriteFile(run.Path(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := rd.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if _, err := rd.Next(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted batch read error = %v, want checksum mismatch", err)
+	}
+}
+
+func TestRunStoreDeterministicNamesAndClose(t *testing.T) {
+	g := NewGovernor(1)
+	store, err := g.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := store.Create("build-p0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := store.Create("build-p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(w1.run.path); base != "000000-build-p0.run" {
+		t.Fatalf("first run name = %q", base)
+	}
+	if base := filepath.Base(w2.run.path); base != "000001-build-p1.run" {
+		t.Fatalf("second run name = %q", base)
+	}
+	if err := w1.WriteColumns([][]int64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	dir := store.Dir()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir still exists after Close (stat err = %v)", err)
+	}
+	// Close is idempotent.
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

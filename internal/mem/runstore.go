@@ -1,0 +1,304 @@
+package mem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Run-store file format. A run is a sequence of column-major batches of
+// int64 values, written little-endian and checksummed per batch:
+//
+//	header:  magic "SRN1" (4 bytes) | ncols uint32
+//	batch:   nrows uint32 | ncols x nrows x int64 (column 0 first) | crc32 uint32
+//	...      (batches repeat; a clean EOF after a whole batch ends the run)
+//
+// The CRC is IEEE crc32 over the batch's nrows header and payload, so a
+// truncated or corrupted spill file is detected at read time instead of
+// silently producing wrong statistics. Row-major payloads (join build rows,
+// sequenced probe/output rows) are stored as single-column runs whose writer
+// appends whole rows, so batch boundaries always align with row boundaries.
+
+const runMagic = "SRN1"
+
+// RunStore hands out spill files inside one temp directory. File names are
+// deterministic — a zero-padded sequence number plus the caller's tag — so a
+// run's identity is stable across a process run and directory listings are
+// diagnosable. Close removes the directory and everything in it.
+type RunStore struct {
+	dir string
+
+	mu  sync.Mutex
+	seq int
+}
+
+// NewRunStore creates a run store rooted at dir; with dir == "" a fresh
+// temp directory is created under the system temp dir.
+func NewRunStore(dir string) (*RunStore, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "sits-spill-")
+		if err != nil {
+			return nil, fmt.Errorf("mem: create spill dir: %v", err)
+		}
+		dir = d
+	}
+	return &RunStore{dir: dir}, nil
+}
+
+// Dir returns the store's spill directory.
+func (s *RunStore) Dir() string { return s.dir }
+
+// Close removes the spill directory and every run in it.
+func (s *RunStore) Close() error {
+	if err := os.RemoveAll(s.dir); err != nil {
+		return fmt.Errorf("mem: remove spill dir: %v", err)
+	}
+	return nil
+}
+
+// next returns the store's next deterministic file path for tag.
+func (s *RunStore) next(tag string) string {
+	s.mu.Lock()
+	n := s.seq
+	s.seq++
+	s.mu.Unlock()
+	return filepath.Join(s.dir, fmt.Sprintf("%06d-%s.run", n, tag))
+}
+
+// Create opens a writer for a new run of ncols columns. tag names the run's
+// role ("sortrun", "build-p3", ...) in its file name.
+func (s *RunStore) Create(tag string, ncols int) (*RunWriter, error) {
+	if ncols <= 0 {
+		return nil, fmt.Errorf("mem: run needs at least one column, got %d", ncols)
+	}
+	path := s.next(tag)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("mem: create run %s: %v", path, err)
+	}
+	w := &RunWriter{
+		run: Run{store: s, path: path, ncols: ncols},
+		f:   f,
+		bw:  bufio.NewWriterSize(f, 1<<16),
+	}
+	var hdr [8]byte
+	copy(hdr[:4], runMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ncols))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.abort()
+		return nil, fmt.Errorf("mem: write run header: %v", err)
+	}
+	return w, nil
+}
+
+// Run identifies a finished spill run: its file, column count and row count.
+type Run struct {
+	store *RunStore
+	path  string
+	ncols int
+	rows  int64
+}
+
+// Rows returns the number of rows written to the run.
+func (r *Run) Rows() int64 { return r.rows }
+
+// NCols returns the run's column count.
+func (r *Run) NCols() int { return r.ncols }
+
+// Path returns the run's file path.
+func (r *Run) Path() string { return r.path }
+
+// Remove deletes the run's file; reopening the run afterwards fails. Removing
+// an already-removed run is an error surfaced to the caller, not ignored.
+func (r *Run) Remove() error {
+	if err := os.Remove(r.path); err != nil {
+		return fmt.Errorf("mem: remove run: %v", err)
+	}
+	return nil
+}
+
+// RunWriter streams column batches into a run file.
+type RunWriter struct {
+	run     Run
+	f       *os.File
+	bw      *bufio.Writer
+	scratch []byte
+	err     error
+}
+
+// abort closes and removes a half-written run, keeping the first error.
+func (w *RunWriter) abort() {
+	if w.f == nil {
+		return
+	}
+	// Both failures matter on the error path, but the write error that led
+	// here is the root cause the caller sees.
+	_ = w.f.Close()
+	_ = os.Remove(w.run.path)
+	w.f = nil
+}
+
+// WriteColumns appends one batch: cols must have the run's declared column
+// count, all of equal length. The batch is encoded little-endian and
+// checksummed; writers own their buffers, so cols may be reused immediately.
+func (w *RunWriter) WriteColumns(cols [][]int64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(cols) != w.run.ncols {
+		return fmt.Errorf("mem: run %s: WriteColumns got %d columns, want %d", w.run.path, len(cols), w.run.ncols)
+	}
+	n := len(cols[0])
+	for _, c := range cols[1:] {
+		if len(c) != n {
+			return fmt.Errorf("mem: run %s: ragged batch (%d vs %d rows)", w.run.path, len(c), n)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	need := 4 + 8*n*w.run.ncols
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	buf := w.scratch[:need]
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	off := 4
+	for _, c := range cols {
+		for _, v := range c {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+			off += 8
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(buf))
+	if _, err := w.bw.Write(buf); err == nil {
+		_, w.err = w.bw.Write(tail[:])
+	} else {
+		w.err = err
+	}
+	if w.err != nil {
+		w.abort()
+		return fmt.Errorf("mem: write run %s: %v", w.run.path, w.err)
+	}
+	w.run.rows += int64(n)
+	return nil
+}
+
+// Finish flushes and closes the run file, returning the immutable run
+// handle.
+func (w *RunWriter) Finish() (*Run, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		w.abort()
+		return nil, fmt.Errorf("mem: flush run %s: %v", w.run.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = err
+		// The file is already closed (possibly with lost data); remove it so
+		// a later Open cannot read a torn run.
+		_ = os.Remove(w.run.path)
+		w.f = nil
+		return nil, fmt.Errorf("mem: close run %s: %v", w.run.path, err)
+	}
+	w.f = nil
+	run := w.run
+	return &run, nil
+}
+
+// Open opens the run for sequential reading.
+func (r *Run) Open() (*RunReader, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, fmt.Errorf("mem: open run: %v", err)
+	}
+	rd := &RunReader{f: f, br: bufio.NewReaderSize(f, 1<<16)}
+	var hdr [8]byte
+	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("mem: read run header %s: %v", r.path, err)
+	}
+	if string(hdr[:4]) != runMagic {
+		_ = f.Close()
+		return nil, fmt.Errorf("mem: run %s: bad magic %q", r.path, hdr[:4])
+	}
+	nc := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if nc != r.ncols {
+		_ = f.Close()
+		return nil, fmt.Errorf("mem: run %s: header says %d columns, handle says %d", r.path, nc, r.ncols)
+	}
+	rd.ncols = nc
+	rd.path = r.path
+	rd.cols = make([][]int64, nc)
+	return rd, nil
+}
+
+// RunReader streams a run's batches back in write order.
+type RunReader struct {
+	f       *os.File
+	br      *bufio.Reader
+	path    string
+	ncols   int
+	cols    [][]int64
+	scratch []byte
+}
+
+// Next returns the next batch's columns, or io.EOF after the last batch. The
+// returned slices are reused by the following Next call.
+func (r *RunReader) Next() ([][]int64, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r.br, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mem: read run %s: %v", r.path, err)
+	}
+	n := int(binary.LittleEndian.Uint32(head[:]))
+	need := 8*n*r.ncols + 4
+	if cap(r.scratch) < need {
+		r.scratch = make([]byte, need)
+	}
+	buf := r.scratch[:need]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("mem: run %s truncated: %v", r.path, err)
+	}
+	sum := crc32.ChecksumIEEE(head[:])
+	sum = crc32.Update(sum, crc32.IEEETable, buf[:need-4])
+	if got := binary.LittleEndian.Uint32(buf[need-4:]); got != sum {
+		return nil, fmt.Errorf("mem: run %s: batch checksum mismatch (file %08x, computed %08x)", r.path, got, sum)
+	}
+	off := 0
+	for c := 0; c < r.ncols; c++ {
+		if cap(r.cols[c]) < n {
+			r.cols[c] = make([]int64, n)
+		}
+		col := r.cols[c][:n]
+		for i := 0; i < n; i++ {
+			col[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		r.cols[c] = col
+	}
+	return r.cols, nil
+}
+
+// Close closes the underlying file.
+func (r *RunReader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	f := r.f
+	r.f = nil
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mem: close run %s: %v", r.path, err)
+	}
+	return nil
+}

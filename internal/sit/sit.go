@@ -29,6 +29,7 @@ import (
 	"github.com/sitstats/sits/internal/btree"
 	"github.com/sitstats/sits/internal/data"
 	"github.com/sitstats/sits/internal/histogram"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/query"
 	"github.com/sitstats/sits/internal/sample"
 )
@@ -133,6 +134,12 @@ type Config struct {
 	// materializing generating queries (0 = adaptive from the plan's column
 	// width; see exec.AdaptiveBatchSize).
 	BatchSize int
+	// MemBudget caps the executor's operator memory in bytes (0 = unlimited,
+	// the previous behavior). Under a budget, hash-join build sides spill into
+	// grace partitioning and sorts become external merge sorts; results are
+	// bit-identical at any budget. Spill files live in a temp directory owned
+	// by the builder and are removed by Close.
+	MemBudget int64
 }
 
 // DefaultConfig returns the paper's experimental defaults.
@@ -166,6 +173,9 @@ func (c Config) validate() error {
 	if c.BatchSize < 0 {
 		return fmt.Errorf("sit: batch size %d must be >= 0 (0 = adaptive)", c.BatchSize)
 	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("sit: memory budget %d must be >= 0 (0 = unlimited)", c.MemBudget)
+	}
 	return nil
 }
 
@@ -180,6 +190,7 @@ type Builder struct {
 	idx  map[string]*btree.Tree          // "T.a" -> index
 	sits map[string]*SIT                 // method + canonical spec -> SIT
 	seed int64                           // per-reservoir seed sequence
+	gov  *mem.Governor                   // non-nil iff cfg.MemBudget > 0
 }
 
 // NewBuilder creates a Builder over the catalog.
@@ -190,7 +201,7 @@ func NewBuilder(cat *data.Catalog, cfg Config) (*Builder, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Builder{
+	b := &Builder{
 		cat:  cat,
 		cfg:  cfg,
 		base: map[string]*histogram.Histogram{},
@@ -198,8 +209,21 @@ func NewBuilder(cat *data.Catalog, cfg Config) (*Builder, error) {
 		idx:  map[string]*btree.Tree{},
 		sits: map[string]*SIT{},
 		seed: cfg.Seed,
-	}, nil
+	}
+	if cfg.MemBudget > 0 {
+		b.gov = mem.NewGovernor(cfg.MemBudget)
+	}
+	return b, nil
 }
+
+// Governor returns the builder's memory governor, or nil when the builder is
+// un-budgeted (Config.MemBudget == 0).
+func (b *Builder) Governor() *mem.Governor { return b.gov }
+
+// Close releases the builder's spill resources (the governor's run-store temp
+// directory). It is safe on an un-budgeted builder and safe to call twice;
+// the builder must not execute further plans afterwards.
+func (b *Builder) Close() error { return b.gov.Close() }
 
 // hist2D returns (building and caching on first use) the 2-D histogram over
 // the table's attribute pair.

@@ -28,6 +28,7 @@ import (
 	"github.com/sitstats/sits/internal/datagen"
 	"github.com/sitstats/sits/internal/exec"
 	"github.com/sitstats/sits/internal/histogram"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/query"
 	"github.com/sitstats/sits/internal/sched"
 	"github.com/sitstats/sits/internal/sit"
@@ -173,6 +174,11 @@ func DefaultConfig() Config { return sit.DefaultConfig() }
 
 // NewBuilder creates a Builder over the catalog.
 func NewBuilder(cat *Catalog, cfg Config) (*Builder, error) { return sit.NewBuilder(cat, cfg) }
+
+// ParseMemBudget parses a human byte-size string for Config.MemBudget: a
+// non-negative integer with an optional binary K/M/G/T suffix ("512M",
+// "2GiB"); "0" means unlimited.
+func ParseMemBudget(s string) (int64, error) { return mem.ParseBytes(s) }
 
 // --- Cardinality estimation (optimizer integration, Section 2.2) ---
 
