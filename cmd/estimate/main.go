@@ -32,7 +32,7 @@ func main() {
 		saveFile = flag.String("save", "", "save all built/loaded SITs to this JSON file")
 		csvDir   = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
 		truth    = flag.Bool("truth", false, "also execute the query for the exact cardinality")
-		parallel = flag.Int("parallel", 0, "shared-scan worker count for -build (0 = all CPUs, 1 = serial/reproducible)")
+		parallel = flag.Int("parallel", 0, "width of the shared exec worker pool for -build scans and query pipelines (0 = all CPUs, 1 = serial; output is bit-identical at every width)")
 		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		memFlag  = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
 		seed     = flag.Int64("seed", 1, "random seed")

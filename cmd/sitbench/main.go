@@ -35,7 +35,7 @@ func main() {
 		memory    = flag.Float64("memory", 50000, "memory budget M (paper: 50000)")
 		hybridMS  = flag.Int("hybrid-ms", 1000, "Hybrid's A* budget in milliseconds (paper: 1000)")
 		optCap    = flag.Int("opt-cap", 2000000, "abort Opt after this many A* expansions (0 = unlimited); capped instances count as failures")
-		parallel  = flag.Int("parallel", 0, "worker count for experiment cells and shared scans (0 = all CPUs, 1 = serial/reproducible)")
+		parallel  = flag.Int("parallel", 0, "width of the shared exec worker pool, used by experiment cells, shared scans, and query pipelines (0 = all CPUs, 1 = serial; output is bit-identical at every width)")
 		batch     = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		memBudget = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
 		seed      = flag.Int64("seed", 11, "random seed")

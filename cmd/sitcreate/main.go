@@ -33,7 +33,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
 		verify   = flag.Bool("verify", false, "execute the generating query and score the SIT's accuracy")
 		queries  = flag.Int("queries", 1000, "range queries used by -verify")
-		parallel = flag.Int("parallel", 0, "shared-scan worker count (0 = all CPUs, 1 = serial/reproducible)")
+		parallel = flag.Int("parallel", 0, "width of the shared exec worker pool for scans and query pipelines (0 = all CPUs, 1 = serial; output is bit-identical at every width)")
 		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		memFlag  = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
 		seed     = flag.Int64("seed", 1, "random seed")

@@ -275,6 +275,10 @@ func (t *Table) Scan(columns ...string) (*Scanner, error) {
 type Chunk struct {
 	// Start is the table row index of the chunk's first row.
 	Start int
+	// Seq is the chunk's index in scan order — the sequence number parallel
+	// consumers carry so per-chunk partials merge back in scan order no
+	// matter which pool worker processed the chunk.
+	Seq int
 	// Cols holds one sub-slice per requested column, in request order.
 	Cols [][]int64
 }
@@ -318,7 +322,7 @@ func (t *Table) ScanChunks(chunkSize int, columns ...string) ([]Chunk, error) {
 		for i := range cols {
 			sub[i] = cols[i][start:end]
 		}
-		chunks = append(chunks, Chunk{Start: start, Cols: sub})
+		chunks = append(chunks, Chunk{Start: start, Seq: len(chunks), Cols: sub})
 	}
 	return chunks, nil
 }

@@ -91,7 +91,8 @@ type BatchScan struct {
 	gen   uint64 // table generation when the column slices were bound
 	cols  []string
 	store [][]int64
-	n     int
+	lo    int // first row served; non-zero only for morsel range scans
+	n     int // one past the last row served
 	pos   int
 	size  int
 	out   Batch
@@ -146,7 +147,32 @@ func (s *BatchScan) NextBatch() (*Batch, bool) {
 }
 
 // Reset implements BatchOperator.
-func (s *BatchScan) Reset() { s.pos = 0 }
+func (s *BatchScan) Reset() { s.pos = s.lo }
+
+// NewBatchScanRange is NewBatchScanSize restricted to rows [lo, hi): the
+// morsel source of the parallel Pipeline. Batch boundaries within the range
+// fall at the same multiples of batchSize a whole-table scan starting at lo
+// would produce, so morsel outputs concatenate to the serial stream.
+func NewBatchScanRange(t *data.Table, lo, hi, batchSize int) *BatchScan {
+	s := NewBatchScanSize(t, batchSize)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	s.lo, s.pos, s.n = lo, lo, hi
+	return s
+}
+
+// wholeTable reports whether the scan covers the table's full row range —
+// the precondition for the sorted-run cache in BatchSort.
+func (s *BatchScan) wholeTable() bool {
+	return s.lo == 0 && s.table != nil && s.n == s.table.NumRows()
+}
 
 // BatchFilter evaluates a row predicate over each input batch and narrows the
 // selection vector; column data is never moved.

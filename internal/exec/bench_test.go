@@ -175,24 +175,25 @@ func BenchmarkHashJoin(b *testing.B) {
 	}
 }
 
-// benchCatalog is a 3-table chain for end-to-end plan benchmarks.
-func benchPlanCatalog() (*data.Catalog, *query.Expr) {
+// chainCatalog is a 3-table chain (T1 ⋈ T2 ⋈ T3) of the given size for
+// end-to-end plan benchmarks and the determinism matrix tests.
+func chainCatalog(rows int, domain int64) (*data.Catalog, *query.Expr) {
 	rng := rand.New(rand.NewSource(2))
 	cat := data.NewCatalog()
 	t1 := data.MustNewTable("T1", "jnext")
-	t1.Grow(20_000)
-	for i := 0; i < 20_000; i++ {
-		t1.AppendRow(rng.Int63n(2_000))
+	t1.Grow(rows)
+	for i := 0; i < rows; i++ {
+		t1.AppendRow(rng.Int63n(domain))
 	}
 	t2 := data.MustNewTable("T2", "jprev", "jnext")
-	t2.Grow(20_000)
-	for i := 0; i < 20_000; i++ {
-		t2.AppendRow(rng.Int63n(2_000), rng.Int63n(2_000))
+	t2.Grow(rows)
+	for i := 0; i < rows; i++ {
+		t2.AppendRow(rng.Int63n(domain), rng.Int63n(domain))
 	}
 	t3 := data.MustNewTable("T3", "jprev", "a")
-	t3.Grow(20_000)
-	for i := 0; i < 20_000; i++ {
-		t3.AppendRow(rng.Int63n(2_000), rng.Int63n(500))
+	t3.Grow(rows)
+	for i := 0; i < rows; i++ {
+		t3.AppendRow(rng.Int63n(domain), rng.Int63n(500))
 	}
 	cat.MustAdd(t1)
 	cat.MustAdd(t2)
@@ -202,6 +203,10 @@ func benchPlanCatalog() (*data.Catalog, *query.Expr) {
 		panic(err)
 	}
 	return cat, e
+}
+
+func benchPlanCatalog() (*data.Catalog, *query.Expr) {
+	return chainCatalog(20_000, 2_000)
 }
 
 // BenchmarkMaterialize measures the full batch pipeline — plan, join, and
@@ -245,6 +250,36 @@ func BenchmarkMaterialize(b *testing.B) {
 			b.ReportMetric(float64(tab.NumRows()), "outrows")
 		}
 	})
+}
+
+// BenchmarkPipeline measures the morsel-driven pipeline end to end — plan,
+// parallel scan → filter-free probe chain, ordered merge, drain — for the
+// 3-way chain join at pool widths 1 (serial chain, no Pipeline wrapper) and 4
+// (morsel fan-out on the shared pool). CI compares the two widths: width 4
+// must beat width 1 by ≥1.5x on a multi-core host, and width 1 must stay
+// within 5% of the serial baseline because PlanBatch skips the Pipeline
+// entirely at width 1.
+func BenchmarkPipeline(b *testing.B) {
+	cat, e := benchPlanCatalog()
+	for _, width := range []int{1, 4} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op, err := PlanBatch(cat, e, Options{Parallelism: width})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rows int64
+				for {
+					batch, ok := op.NextBatch()
+					if !ok {
+						break
+					}
+					rows += int64(batch.NumRows())
+				}
+				b.ReportMetric(float64(rows), "outrows")
+			}
+		})
+	}
 }
 
 // BenchmarkAttrValues measures the value-vector drain that feeds SIT

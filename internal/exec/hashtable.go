@@ -1,10 +1,5 @@
 package exec
 
-import (
-	"runtime"
-	"sync"
-)
-
 // joinTable is the shared hash-join core behind HashJoin and VecHashJoin.
 //
 // Build rows live in a flat row-major arena ([]int64 with a fixed stride =
@@ -212,27 +207,19 @@ func (p *jtPart) insert(r int32, key, h uint64, next []int32) {
 	}
 }
 
-// resolveWorkers maps the executor parallelism knob to a worker count:
-// 0 = GOMAXPROCS, n = exactly n.
-func resolveWorkers(parallelism int) int {
-	if parallelism <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return parallelism
-}
-
 // buildMinRowsPerWorker keeps tiny build sides on one worker: below this many
 // rows per partition the fan-out costs more than it saves.
 const buildMinRowsPerWorker = 4096
 
 // build hashes every arena row and constructs the partitioned table using up
-// to `parallelism` workers (0 = GOMAXPROCS). The result is independent of the
-// worker count: partitioning is a pure function of the key hash, and each
-// partition inserts its rows in ascending arena order either way.
+// to `parallelism` workers (0 = GOMAXPROCS), running the fan-out on the
+// shared exec pool. The result is independent of the worker count:
+// partitioning is a pure function of the key hash, and each partition
+// inserts its rows in ascending arena order either way.
 func (t *joinTable) build(parallelism int) {
 	n := t.rows
 	t.next = make([]int32, n)
-	workers := resolveWorkers(parallelism)
+	workers := ResolveParallelism(parallelism)
 	if workers > n/buildMinRowsPerWorker {
 		workers = n / buildMinRowsPerWorker
 	}
@@ -240,11 +227,16 @@ func (t *joinTable) build(parallelism int) {
 		workers = 1
 	}
 
+	// Hash the arena rows in contiguous blocks, one fork-join morsel each;
+	// every block writes its own keys/hs range, so the vectors are identical
+	// at any worker count.
 	keys := make([]uint64, n)
 	hs := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		keys[i], hs[i] = t.slotKeyHash(i)
-	}
+	Default().ForkJoinWidth(workers, workers, func(w int) {
+		for i := w * n / workers; i < (w+1)*n/workers; i++ {
+			keys[i], hs[i] = t.slotKeyHash(i)
+		}
+	})
 
 	if workers == 1 {
 		t.parts = make([]jtPart, 1)
@@ -257,9 +249,9 @@ func (t *joinTable) build(parallelism int) {
 	}
 
 	// Partition rows by high hash bits, then build each partition's slot
-	// array on its own worker. order[] groups row indices by partition while
-	// preserving ascending order within each partition, so chains come out in
-	// build-input order exactly as in the serial build.
+	// array on its own pool worker. order[] groups row indices by partition
+	// while preserving ascending order within each partition, so chains come
+	// out in build-input order exactly as in the serial build.
 	t.parts = make([]jtPart, workers)
 	pid := make([]int32, n)
 	counts := make([]int32, workers)
@@ -278,19 +270,13 @@ func (t *joinTable) build(parallelism int) {
 		order[cursor[pid[i]]] = int32(i)
 		cursor[pid[i]]++
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			p := &t.parts[w]
-			p.init(int(counts[w]))
-			for _, i := range order[offsets[w]:offsets[w+1]] {
-				p.insert(i, keys[i], hs[i], t.next)
-			}
-		}(w)
-	}
-	wg.Wait()
+	Default().ForkJoinWidth(workers, workers, func(w int) {
+		p := &t.parts[w]
+		p.init(int(counts[w]))
+		for _, i := range order[offsets[w]:offsets[w+1]] {
+			p.insert(i, keys[i], hs[i], t.next)
+		}
+	})
 }
 
 // probeHead returns the 1-based head of the chain whose slot key matches, or

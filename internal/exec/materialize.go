@@ -11,9 +11,11 @@ import (
 
 // Options parameterizes plan execution.
 type Options struct {
-	// Parallelism bounds the hash-join build worker count: 0 uses GOMAXPROCS,
-	// 1 builds serially, n > 1 uses at most n workers. Join results (and
-	// therefore all derived quantities) are identical at every level.
+	// Parallelism is the plan's pool width (see ResolveParallelism): 0 uses
+	// one worker per CPU, 1 runs the untouched serial chain, n > 1 runs the
+	// probe pipeline as n-wide morsel tasks and bounds the hash-join build
+	// fan-out. Plan results (and therefore all derived quantities) are
+	// identical at every level.
 	Parallelism int
 	// BatchSize overrides the rows-per-batch granularity. 0 picks an adaptive
 	// size from the plan's total column width (AdaptiveBatchSize), so wide
@@ -21,8 +23,12 @@ type Options struct {
 	BatchSize int
 	// Gov, when non-nil, budgets the plan's operator memory: hash-join build
 	// sides and sort buffers reserve through it and spill (grace partitioning,
-	// external merge sort) when denied. Results are identical at any budget.
+	// external merge sort) when denied, and the parallel pipeline's reorder
+	// window is accounted against it. Results are identical at any budget.
 	Gov *mem.Governor
+	// Pool overrides the worker pool the plan forks onto; nil uses the
+	// process-wide Default pool.
+	Pool *Pool
 }
 
 // Materialize drains an operator into a table named name. Qualified column
@@ -85,6 +91,12 @@ func Plan(cat *data.Catalog, e *query.Expr) (Operator, error) {
 // expression with hash joins: tables are joined in a connectivity-preserving
 // order starting from the expression's first table, so every join has at
 // least one applicable predicate. Output columns are qualified names ("R.x").
+//
+// At Parallelism != 1 the probe-side chain (scan of the first table, then
+// every join probe and equality filter) runs as a morsel-driven Pipeline on
+// the shared pool: each stage is recorded as a builder that re-instantiates
+// it over a morsel's scan range (joins via ProbeClone, sharing one built
+// hash table). The emitted row stream is bit-identical to the serial chain.
 func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, error) {
 	tables := e.Tables()
 	if opts.BatchSize <= 0 {
@@ -117,6 +129,9 @@ func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, e
 	}
 	var root BatchOperator = NewBatchScanSize(first, opts.BatchSize)
 	joined[tables[0]] = true
+	// Per-morsel stage builders, recorded alongside the serial chain so the
+	// Pipeline can re-instantiate the chain over each morsel's scan range.
+	var stages []stageBuilder
 
 	for len(remaining) > 0 {
 		progress := false
@@ -126,11 +141,15 @@ func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, e
 			case lIn && rIn:
 				// Both sides already joined: apply as a filter (extra
 				// predicate between an already-connected table pair).
-				f, err := equalityFilter(root, p.LeftTable+"."+p.LeftAttr, p.RightTable+"."+p.RightAttr)
+				lc, rc := p.LeftTable+"."+p.LeftAttr, p.RightTable+"."+p.RightAttr
+				f, err := equalityFilter(root, lc, rc)
 				if err != nil {
 					return nil, err
 				}
 				root = f
+				stages = append(stages, func(in BatchOperator) (BatchOperator, error) {
+					return equalityFilter(in, lc, rc)
+				})
 			case lIn || rIn:
 				newTable := p.RightTable
 				probeCol, buildCol := p.LeftTable+"."+p.LeftAttr, p.RightTable+"."+p.RightAttr
@@ -150,6 +169,9 @@ func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, e
 					return nil, err
 				}
 				root = j
+				stages = append(stages, func(in BatchOperator) (BatchOperator, error) {
+					return j.ProbeClone(in)
+				})
 				joined[newTable] = true
 			default:
 				continue
@@ -161,6 +183,19 @@ func PlanBatch(cat *data.Catalog, e *query.Expr, opts Options) (BatchOperator, e
 		if !progress {
 			return nil, fmt.Errorf("exec: expression %q is not connected", e.String())
 		}
+	}
+	if width := ResolveParallelism(opts.Parallelism); width > 1 && len(stages) > 0 {
+		build := func(src BatchOperator) (BatchOperator, error) {
+			op := src
+			for _, s := range stages {
+				var err error
+				if op, err = s(op); err != nil {
+					return nil, err
+				}
+			}
+			return op, nil
+		}
+		return NewPipeline(opts.Pool, first, width, opts.BatchSize, build, root, opts.Gov), nil
 	}
 	return root, nil
 }

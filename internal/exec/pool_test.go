@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolveParallelismHelper(t *testing.T) {
+	if got := ResolveParallelism(3); got != 3 {
+		t.Errorf("ResolveParallelism(3) = %d", got)
+	}
+	if got := ResolveParallelism(1); got != 1 {
+		t.Errorf("ResolveParallelism(1) = %d", got)
+	}
+	for _, n := range []int{0, -1} {
+		if got := ResolveParallelism(n); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("ResolveParallelism(%d) = %d, want GOMAXPROCS", n, got)
+		}
+	}
+}
+
+func TestForkJoinComputesEveryIndex(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{1, 2, 7, 100, 1000} {
+		out := make([]int64, n)
+		p.ForkJoin(n, func(i int) { out[i] = int64(i * i) })
+		for i := range out {
+			if out[i] != int64(i*i) {
+				t.Fatalf("n=%d: out[%d] = %d, want %d", n, i, out[i], i*i)
+			}
+		}
+	}
+}
+
+func TestForkJoinWidthOne(t *testing.T) {
+	// width 1 must run inline on the caller without touching the pool.
+	p := NewPool(4)
+	defer p.Close()
+	var calls int64
+	p.ForkJoinWidth(50, 1, func(i int) { atomic.AddInt64(&calls, 1) })
+	if calls != 50 {
+		t.Fatalf("calls = %d, want 50", calls)
+	}
+	if !p.Idle() {
+		t.Fatal("pool not idle after inline fork-join")
+	}
+}
+
+func TestForkJoinNested(t *testing.T) {
+	// Nested fork-joins must complete even when the inner fan-out exceeds the
+	// pool width: the forker always participates in its own group.
+	p := NewPool(2)
+	defer p.Close()
+	outer := make([]int64, 8)
+	p.ForkJoin(8, func(i int) {
+		var inner int64
+		p.ForkJoin(16, func(j int) { atomic.AddInt64(&inner, int64(j)) })
+		outer[i] = inner
+	})
+	for i, v := range outer {
+		if v != 120 {
+			t.Fatalf("outer[%d] = %d, want 120", i, v)
+		}
+	}
+}
+
+func TestForkJoinPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	p.ForkJoin(32, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForkJoin returned instead of panicking")
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	out := make([]int, 10)
+	p.ForkJoin(10, func(i int) { out[i] = i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	p.Submit(func() { out[0] = -1 })
+	if out[0] != -1 {
+		t.Fatal("nil-pool Submit did not run inline")
+	}
+	if p.Width() != 1 || !p.Idle() {
+		t.Fatal("nil pool must report width 1 and idle")
+	}
+	p.Close() // must not panic
+}
+
+// TestPoolCloseDrainsAndStopsWorkers is the goroutine-leak check: Close must
+// run every queued task and terminate every worker goroutine.
+func TestPoolCloseDrainsAndStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4)
+	var ran int64
+	for i := 0; i < 200; i++ {
+		p.Submit(func() { atomic.AddInt64(&ran, 1) })
+	}
+	p.Close()
+	if got := atomic.LoadInt64(&ran); got != 200 {
+		t.Fatalf("Close drained %d of 200 tasks", got)
+	}
+	if !p.Idle() {
+		t.Fatal("closed pool reports non-idle")
+	}
+	// Submissions after Close run inline.
+	p.Submit(func() { atomic.AddInt64(&ran, 1) })
+	if atomic.LoadInt64(&ran) != 201 {
+		t.Fatal("post-Close Submit did not run inline")
+	}
+	// Workers exit asynchronously after wg.Wait observes them; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak: %d before pool, %d after Close", before, now)
+	}
+}
+
+func TestPoolIdleAfterWork(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var sum int64
+	p.ForkJoin(64, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 64*63/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+	// ForkJoin's join point guarantees the fn calls finished; queued helper
+	// task wrappers may still be draining, so poll Idle.
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.Idle() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !p.Idle() {
+		t.Fatal("pool did not drain to idle after fork-join")
+	}
+}
+
+func TestDefaultPoolSingleton(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default() must return one process-wide pool")
+	}
+	if a.Width() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default width %d, want GOMAXPROCS %d", a.Width(), runtime.GOMAXPROCS(0))
+	}
+}

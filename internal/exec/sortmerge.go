@@ -45,11 +45,15 @@ type BatchSort struct {
 	n    int
 	pos  int
 	out  Batch
-	// Drain state.
-	bufCols  [][]int64
-	bufBytes int64
-	perm     []int32
-	chunk    [][]int64
+	// Drain state. permBytes is the argsort permutation's reservation: the
+	// perm slice is sized to the high-water buffered row count and reused
+	// across spill runs, so its bytes are reserved as the buffer grows and
+	// retained when a run is flushed.
+	bufCols   [][]int64
+	bufBytes  int64
+	perm      []int32
+	permBytes int64
+	chunk     [][]int64
 	// Spill mode: sorted runs recombined by a loser-tree merge.
 	runs    []*mem.Run
 	cursors []*colCursor
@@ -170,6 +174,30 @@ func (s *BatchSort) flushRun() {
 	s.bufBytes = 0
 }
 
+// reserveDrain reserves the bytes that admitting batch b into the drain
+// buffers costs: the row data plus any growth of the argsort permutation
+// (4 bytes per high-water buffered row — reused across runs, so its
+// reservation is kept when a run flushes). With force the reservation is
+// taken unconditionally.
+func (s *BatchSort) reserveDrain(b *Batch, nc int, force bool) bool {
+	rows := int64(b.NumRows())
+	need := rows * int64(nc) * 8
+	var permNeed int64
+	if nc > 0 {
+		if pb := 4 * (int64(len(s.bufCols[s.idx])) + rows); pb > s.permBytes {
+			permNeed = pb - s.permBytes
+		}
+	}
+	if force {
+		s.grant.Force(need + permNeed)
+	} else if !s.grant.TryReserve(need + permNeed) {
+		return false
+	}
+	s.bufBytes += need
+	s.permBytes += permNeed
+	return true
+}
+
 // sort drains the input under the memory grant, spilling sorted runs when
 // the budget denies growth, then either finishes in memory (argsort + gather
 // — with a presorted fast path and sorted-run caching) or sets up the
@@ -180,7 +208,7 @@ func (s *BatchSort) sort() {
 	// Sorted-run cache: a whole-table scan sorted on the same column serves
 	// the cached columns, skipping the drain and argsort entirely.
 	scan, fromScan := s.in.(*BatchScan)
-	if s.cache != nil && fromScan && scan.pos == 0 && scan.table != nil {
+	if s.cache != nil && fromScan && scan.pos == 0 && scan.wholeTable() {
 		if cols, ok := s.cache.lookup(scan.table, s.col, scan.gen); ok {
 			s.cols = cols
 			s.n = 0
@@ -196,22 +224,18 @@ func (s *BatchSort) sort() {
 		if !ok {
 			break
 		}
-		need := int64(b.NumRows()) * int64(nc) * 8
-		if s.grant.TryReserve(need) {
-			s.bufBytes += need
+		if s.reserveDrain(b, nc, false) {
 			s.drainBatch(b)
 			continue
 		}
 		// Budget denied: spill what is buffered, then retry; a single batch
 		// larger than the whole budget is force-admitted and spilled alone.
 		s.flushRun()
-		if s.grant.TryReserve(need) {
-			s.bufBytes += need
+		if s.reserveDrain(b, nc, false) {
 			s.drainBatch(b)
 			continue
 		}
-		s.grant.Force(need)
-		s.bufBytes += need
+		s.reserveDrain(b, nc, true)
 		s.drainBatch(b)
 		s.flushRun()
 	}
@@ -260,22 +284,53 @@ func (s *BatchSort) finishInMemory(scan *BatchScan, fromScan bool) {
 		s.argsortBuf()
 		s.cols = make([][]int64, nc)
 		for c := range cols {
-			src := cols[c]
-			dst := make([]int64, s.n)
-			for i, p := range s.perm[:s.n] {
-				dst[i] = src[p]
-			}
-			s.cols[c] = dst
+			s.cols[c] = make([]int64, s.n)
 		}
+		s.gather(cols)
 		// The drain buffers are dead now; the grant keeps only the sorted
 		// copy it just reserved.
 		s.grant.Release(s.bufBytes)
 		s.bufBytes = int64(s.n) * int64(nc) * 8
 	}
 	s.bufCols = nil
-	if s.cache != nil && fromScan && scan.table != nil {
+	if s.cache != nil && fromScan && scan.wholeTable() {
 		s.cache.store(scan.table, s.col, scan.gen, s.cols)
 	}
+}
+
+// gatherBlockRows is the morsel granularity of the parallel gather: below
+// one block the fork-join dispatch costs more than the copy.
+const gatherBlockRows = 1 << 15
+
+// gather permutes every drained column into its sorted order. Large sorts
+// fan the (column, row-block) grid out over the shared pool; every task
+// writes a disjoint destination range through the same permutation, so the
+// result is identical at any pool width.
+func (s *BatchSort) gather(cols [][]int64) {
+	nc := len(cols)
+	perm := s.perm[:s.n]
+	if s.n < gatherBlockRows {
+		for c := range cols {
+			src, dst := cols[c], s.cols[c]
+			for i, p := range perm {
+				dst[i] = src[p]
+			}
+		}
+		return
+	}
+	nb := (s.n + gatherBlockRows - 1) / gatherBlockRows
+	Default().ForkJoin(nc*nb, func(t int) {
+		c, blk := t/nb, t%nb
+		lo := blk * gatherBlockRows
+		hi := lo + gatherBlockRows
+		if hi > s.n {
+			hi = s.n
+		}
+		src, dst := cols[c], s.cols[c]
+		for i := lo; i < hi; i++ {
+			dst[i] = src[perm[i]]
+		}
+	})
 }
 
 // openMerge opens a cursor per spilled run and builds the loser tree; called

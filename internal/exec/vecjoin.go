@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/sitstats/sits/internal/mem"
 )
@@ -20,8 +22,9 @@ type VecHashJoin struct {
 	parallelism int
 	size        int
 
-	built bool
-	jt    *joinTable
+	built     bool
+	buildOnce sync.Once
+	jt        *joinTable
 
 	// Memory governance. gov/grant are nil for un-budgeted joins; buildBytes
 	// tracks the arena's reservation, grace is non-nil once the build side
@@ -134,14 +137,54 @@ func (j *VecHashJoin) build() {
 	j.built = true
 }
 
+// ensureBuilt drains the build side exactly once; safe to call from several
+// goroutines (the parallel Pipeline forces builds on the consumer before the
+// first helper spawns, but probe clones may race a late ensureBuilt).
+func (j *VecHashJoin) ensureBuilt() { j.buildOnce.Do(j.build) }
+
+// errProbeClone marks a join whose probe side cannot be re-partitioned.
+var errProbeClone = errors.New("exec: grace-mode join is not probe-cloneable")
+
+// ProbeClone returns a join that shares this join's built hash table but
+// probes an independent right input — the per-morsel stage the parallel
+// Pipeline runs. The clone is probe-only: it never builds, reserves, or
+// spills, and concurrent clones only read the shared table. Cloning fails
+// once the build side has spilled into grace partitioning, because grace
+// output order is a global property of a single probe stream; callers fall
+// back to the serial chain then.
+func (j *VecHashJoin) ProbeClone(right BatchOperator) (*VecHashJoin, error) {
+	j.ensureBuilt()
+	if j.grace != nil {
+		return nil, errProbeClone
+	}
+	c := &VecHashJoin{
+		left:        j.left,
+		right:       right,
+		conds:       j.conds,
+		lIdx:        j.lIdx,
+		rIdx:        j.rIdx,
+		cols:        j.cols,
+		parallelism: 1,
+		size:        j.size,
+		built:       true,
+		jt:          j.jt,
+	}
+	c.buildOnce.Do(func() {}) // consume the Once: the shared table is final
+	c.probeVals = make([]int64, len(j.conds))
+	c.bufs = make([][]int64, len(j.cols))
+	for i := range c.bufs {
+		c.bufs[i] = make([]int64, 0, c.size)
+	}
+	c.out.Cols = make([][]int64, len(j.cols))
+	return c, nil
+}
+
 // NextBatch implements BatchOperator. Returned batches hold up to the
 // configured batch size and are reused across calls.
 //
 //statcheck:hot
 func (j *VecHashJoin) NextBatch() (*Batch, bool) {
-	if !j.built {
-		j.build()
-	}
+	j.ensureBuilt()
 	if j.grace != nil {
 		return j.grace.nextBatch()
 	}

@@ -1,18 +1,13 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"github.com/sitstats/sits/internal/exec"
 )
 
 // workerCount maps a Parallelism knob (0 = GOMAXPROCS, 1 = serial, n = at
 // most n workers) to an actual worker count for n tasks.
 func workerCount(parallelism, n int) int {
-	w := parallelism
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
+	w := exec.ResolveParallelism(parallelism)
 	if w > n {
 		w = n
 	}
@@ -22,11 +17,13 @@ func workerCount(parallelism, n int) int {
 	return w
 }
 
-// parallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
-// and returns the first error encountered. Tasks must be independent and
-// write their results to distinct locations (typically index i of a
-// pre-sized slice, which keeps the assembled output order deterministic
-// regardless of scheduling). With workers <= 1 it degrades to a plain loop.
+// parallelFor runs fn(i) for every i in [0, n) as fork-join morsels on the
+// shared exec pool, capped at `workers` concurrent claimers, and returns the
+// first error encountered (by task index, so the reported error is
+// deterministic). Tasks must be independent and write their results to
+// distinct locations (typically index i of a pre-sized slice, which keeps
+// the assembled output order deterministic regardless of scheduling). With
+// workers <= 1 it degrades to a plain loop that stops at the first error.
 func parallelFor(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
@@ -39,28 +36,10 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		}
 		return nil
 	}
-	var (
-		next int64
-		wg   sync.WaitGroup
-	)
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	errs := make([]error, n)
+	exec.Default().ForkJoinWidth(n, workers, func(i int) {
+		errs[i] = fn(i)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -11,15 +11,26 @@ import (
 //
 //   - values of a scratch type (annotated //statcheck:scratch, or any named
 //     type whose name contains "scratch") must not be captured by or passed
-//     into a goroutine launched with `go` — every worker forks its own;
+//     into a goroutine launched with `go`, nor into a task closure handed to
+//     the worker pool (Submit, ForkJoin, ForkJoinWidth) — every worker forks
+//     its own;
 //   - sync primitives (Mutex, WaitGroup, Once, ...) must not be taken by
 //     value as parameters or receivers, which silently copies their state.
 func checkScratchShare() Check {
 	return Check{
 		Name: "scratchshare",
-		Doc:  "per-worker scratch escaping into a goroutine, or sync types copied by value",
+		Doc:  "per-worker scratch escaping into a goroutine or pool task, or sync types copied by value",
 		Run:  runScratchShare,
 	}
+}
+
+// poolSubmitNames are the methods that hand a closure to the shared worker
+// pool; a closure passed to any of them runs on an arbitrary worker, so it is
+// held to the same scratch-isolation rule as a `go` statement.
+var poolSubmitNames = map[string]bool{
+	"Submit":        true,
+	"ForkJoin":      true,
+	"ForkJoinWidth": true,
 }
 
 func runScratchShare(p *Package) []Diagnostic {
@@ -29,6 +40,8 @@ func runScratchShare(p *Package) []Diagnostic {
 			switch node := n.(type) {
 			case *ast.GoStmt:
 				out = append(out, goStmtScratch(p, node)...)
+			case *ast.CallExpr:
+				out = append(out, poolSubmitScratch(p, node)...)
 			case *ast.FuncDecl:
 				out = append(out, syncByValue(p, node)...)
 			}
@@ -49,10 +62,34 @@ func goStmtScratch(p *Package, g *ast.GoStmt) []Diagnostic {
 				types.ExprString(arg))))
 		}
 	}
-	lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
-	if !ok {
-		return out
+	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		out = append(out, closureScratchCaptures(p, lit, "goroutine")...)
 	}
+	return out
+}
+
+// poolSubmitScratch applies the goroutine rule to task closures handed to the
+// worker pool: a func literal passed to Submit/ForkJoin/ForkJoinWidth runs on
+// an arbitrary pool worker, so scratch captured from the enclosing scope
+// would be shared across concurrent claims.
+func poolSubmitScratch(p *Package, call *ast.CallExpr) []Diagnostic {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !poolSubmitNames[sel.Sel.Name] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, arg := range call.Args {
+		if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+			out = append(out, closureScratchCaptures(p, lit, "pool task")...)
+		}
+	}
+	return out
+}
+
+// closureScratchCaptures flags scratch-typed free variables of a worker
+// closure; variables declared inside the literal are private and fine.
+func closureScratchCaptures(p *Package, lit *ast.FuncLit, context string) []Diagnostic {
+	var out []Diagnostic
 	seen := map[types.Object]bool{}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -64,12 +101,12 @@ func goStmtScratch(p *Package, g *ast.GoStmt) []Diagnostic {
 			return true
 		}
 		if within(obj.Pos(), lit) {
-			return true // declared inside the goroutine: private
+			return true // declared inside the worker: private
 		}
 		if p.isScratchType(obj.Type()) {
 			seen[obj] = true
 			out = append(out, p.diag("scratchshare", id, fmt.Sprintf(
-				"per-worker scratch %q captured by a goroutine closure; declare it inside the goroutine", id.Name)))
+				"per-worker scratch %q captured by a %s closure; declare it inside the worker", id.Name, context)))
 		}
 		return true
 	})

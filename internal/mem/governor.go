@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Governor owns one byte budget shared by every operator of an engine run
@@ -139,11 +140,13 @@ func (g *Governor) Close() error {
 
 // Grant is one operator's window onto the governor: it tracks the bytes the
 // operator holds so Close can release any remainder, and carries the
-// operator's spill callback. A nil Grant admits everything.
+// operator's spill callback. A nil Grant admits everything. Reservation and
+// release are safe for concurrent use, so one pooled grant can account the
+// scratch of every worker in a parallel fan-out.
 type Grant struct {
 	g    *Governor
 	name string
-	used int64
+	used atomic.Int64
 	// spill is invoked when a reservation is denied; it should free memory
 	// (by spilling state to the run store and calling Release) and return
 	// nil, after which the reservation is retried once.
@@ -173,7 +176,7 @@ func (gr *Grant) TryReserve(n int64) bool {
 	if !gr.g.reserve(n, false) {
 		return false
 	}
-	gr.used += n
+	gr.used.Add(n)
 	return true
 }
 
@@ -204,19 +207,29 @@ func (gr *Grant) Force(n int64) {
 		return
 	}
 	gr.g.reserve(n, true)
-	gr.used += n
+	gr.used.Add(n)
 }
 
-// Release returns n reserved bytes to the budget.
+// Release returns n reserved bytes to the budget, clamped to what the grant
+// actually holds.
 func (gr *Grant) Release(n int64) {
-	if gr == nil {
+	if gr == nil || n <= 0 {
 		return
 	}
-	if n > gr.used {
-		n = gr.used
+	for {
+		u := gr.used.Load()
+		m := n
+		if m > u {
+			m = u
+		}
+		if m <= 0 {
+			return
+		}
+		if gr.used.CompareAndSwap(u, u-m) {
+			gr.g.release(m)
+			return
+		}
 	}
-	gr.used -= n
-	gr.g.release(n)
 }
 
 // Used returns the bytes currently held by this grant.
@@ -224,7 +237,7 @@ func (gr *Grant) Used() int64 {
 	if gr == nil {
 		return 0
 	}
-	return gr.used
+	return gr.used.Load()
 }
 
 // Close releases everything the grant still holds.
@@ -232,8 +245,7 @@ func (gr *Grant) Close() {
 	if gr == nil {
 		return
 	}
-	gr.g.release(gr.used)
-	gr.used = 0
+	gr.g.release(gr.used.Swap(0))
 }
 
 // ParseBytes parses a human byte-size string: a non-negative integer with an

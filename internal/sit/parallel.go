@@ -1,10 +1,9 @@
 package sit
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/exec"
+	"github.com/sitstats/sits/internal/mem"
 )
 
 // This file is the chunked, parallel execution engine behind the Sweep
@@ -12,9 +11,11 @@ import (
 // amortizes over many SITs; the engine additionally spreads that scan over
 // the machine: the table is split into fixed-size chunks of column
 // sub-slices (data.Table.ScanChunks), contiguous chunk blocks are assigned to
-// min(parallelism, chunks) workers, every worker streams into private
-// consumer shards, and the shards are merged back in deterministic partition
-// order.
+// min(parallelism, chunks) fork-join morsels on the shared exec pool, every
+// morsel streams into private consumer shards, and the shards are merged
+// back in deterministic partition order. Per-worker probe scratch is
+// accounted against the builder's memory governor through one pooled grant,
+// so budget Peak reflects the scan's real footprint at high parallelism.
 //
 // Determinism contract:
 //
@@ -32,15 +33,6 @@ import (
 // the per-chunk partial aggregations of the exact consumers — are identical
 // at every parallelism level.
 const scanChunkRows = 4096
-
-// resolveParallelism maps the Config.Parallelism knob to a worker count:
-// 0 means one worker per available CPU.
-func resolveParallelism(p int) int {
-	if p <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return p
-}
 
 // shardSeed derives the deterministic seed of shard i from a consumer's base
 // seed. The splitmix64-style mixing keeps neighbouring shards' generator
@@ -91,6 +83,11 @@ func resolveColumns(jobs []*scanJob) []string {
 //
 //statcheck:scratch
 type probeScratch struct {
+	// grant accounts the scratch buffers against the builder's memory
+	// governor; it is the scan's single pooled grant, shared (atomically) by
+	// every worker's scratch. nil means un-budgeted.
+	grant *mem.Grant
+
 	m, tmp []float64
 	// radix argsort buffers (sortedProbe): biased keys and permutation plus
 	// their ping-pong partners, and the decoded ascending values.
@@ -106,6 +103,8 @@ type probeScratch struct {
 //statcheck:hot
 func (s *probeScratch) grow(n int) {
 	if cap(s.m) < n {
+		// m and tmp: 2 float64 slices, net of the buffers being replaced.
+		s.grant.Force(16 * int64(n-cap(s.m)))
 		s.m = make([]float64, n)
 		s.tmp = make([]float64, n)
 	}
@@ -120,6 +119,9 @@ func (s *probeScratch) grow(n int) {
 //statcheck:hot
 func (s *probeScratch) growProbe(n int) {
 	if cap(s.keys) < n {
+		// keys/keys2/sorted/f64/i64 at 8 B and perm/perm2 at 4 B per element,
+		// net of the buffers being replaced.
+		s.grant.Force(48 * int64(n-cap(s.keys)))
 		s.keys = make([]uint64, n)
 		s.keys2 = make([]uint64, n)
 		s.perm = make([]int32, n)
@@ -196,9 +198,17 @@ func feedChunk(ch data.Chunk, jobs []*scanJob, dst []consumer, s *probeScratch) 
 }
 
 // runSharedScan performs one sequential scan over the table and feeds every
-// job, using up to parallelism workers (0 = GOMAXPROCS; the worker count is
-// additionally capped by the number of chunks, so small tables run serially).
+// job, using up to parallelism pool workers (0 = GOMAXPROCS; the worker
+// count is additionally capped by the number of chunks, so small tables run
+// serially). Scratch is un-budgeted; see runSharedScanGov.
 func runSharedScan(t *data.Table, jobs []*scanJob, parallelism int) error {
+	return runSharedScanGov(t, jobs, parallelism, nil)
+}
+
+// runSharedScanGov is runSharedScan with the per-worker probe scratch
+// accounted against gov through one pooled grant, released when the scan
+// completes. A nil governor means unlimited.
+func runSharedScanGov(t *data.Table, jobs []*scanJob, parallelism int, gov *mem.Governor) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -210,14 +220,16 @@ func runSharedScan(t *data.Table, jobs []*scanJob, parallelism int) error {
 	if len(chunks) == 0 {
 		return nil
 	}
-	workers := resolveParallelism(parallelism)
+	grant := gov.Grant("scan-scratch")
+	defer grant.Close()
+	workers := exec.ResolveParallelism(parallelism)
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
 	if workers <= 1 {
-		return scanSerial(chunks, jobs)
+		return scanSerial(chunks, jobs, grant)
 	}
-	return scanParallel(chunks, jobs, workers)
+	return scanParallel(chunks, jobs, workers, grant)
 }
 
 // shardReuser is implemented by shard consumers that can be cleared and fed
@@ -231,7 +243,7 @@ type shardReuser interface {
 // consumers receive the rows directly — exactly the original single-threaded
 // behavior — while exact consumers still aggregate per chunk and merge in
 // chunk order, so the serial result matches the parallel one bit for bit.
-func scanSerial(chunks []data.Chunk, jobs []*scanJob) error {
+func scanSerial(chunks []data.Chunk, jobs []*scanJob, grant *mem.Grant) error {
 	dst := make([]consumer, len(jobs))
 	chunked := false
 	for i, j := range jobs {
@@ -240,7 +252,7 @@ func scanSerial(chunks []data.Chunk, jobs []*scanJob) error {
 			chunked = true
 		}
 	}
-	var scratch probeScratch
+	scratch := probeScratch{grant: grant}
 	// With a single chunk the chunk-order fold degenerates: merging one
 	// partial into an empty root adds 0 + x per value, which is bit-identical
 	// to accumulating in the root directly, so skip the scratch shards.
@@ -281,10 +293,12 @@ func scanSerial(chunks []data.Chunk, jobs []*scanJob) error {
 }
 
 // scanParallel partitions the chunk sequence into contiguous blocks, one per
-// worker, scans the blocks concurrently into private consumer shards, and
-// merges the shards back in partition order (chunk order for per-chunk
-// consumers, worker order otherwise).
-func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int) error {
+// worker, scans the blocks as fork-join morsels on the shared exec pool into
+// private consumer shards, and merges the shards back in partition order
+// (chunk Seq order for per-chunk consumers, worker order otherwise). Block
+// boundaries depend only on (chunks, workers), so the merge order — and for
+// exact consumers the result itself — is independent of pool scheduling.
+func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int, grant *mem.Grant) error {
 	chunkShards := make([][]consumer, len(jobs))
 	workerShards := make([][]consumer, len(jobs))
 	for ji, j := range jobs {
@@ -295,44 +309,38 @@ func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int) error {
 		}
 	}
 	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lo, hi := w*len(chunks)/workers, (w+1)*len(chunks)/workers
-			dst := make([]consumer, len(jobs))
-			var scratch probeScratch
+	exec.Default().ForkJoinWidth(workers, workers, func(w int) {
+		lo, hi := w*len(chunks)/workers, (w+1)*len(chunks)/workers
+		dst := make([]consumer, len(jobs))
+		scratch := probeScratch{grant: grant}
+		for ji, j := range jobs {
+			if j.cons.perChunk() {
+				continue
+			}
+			shard, err := j.cons.fork(w)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			workerShards[ji][w] = shard
+			dst[ji] = shard
+		}
+		for ci := lo; ci < hi; ci++ {
 			for ji, j := range jobs {
-				if j.cons.perChunk() {
+				if !j.cons.perChunk() {
 					continue
 				}
-				shard, err := j.cons.fork(w)
+				shard, err := j.cons.fork(chunks[ci].Seq)
 				if err != nil {
 					errs[w] = err
 					return
 				}
-				workerShards[ji][w] = shard
+				chunkShards[ji][chunks[ci].Seq] = shard
 				dst[ji] = shard
 			}
-			for ci := lo; ci < hi; ci++ {
-				for ji, j := range jobs {
-					if !j.cons.perChunk() {
-						continue
-					}
-					shard, err := j.cons.fork(ci)
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					chunkShards[ji][ci] = shard
-					dst[ji] = shard
-				}
-				feedChunk(chunks[ci], jobs, dst, &scratch)
-			}
-		}(w)
-	}
-	wg.Wait()
+			feedChunk(chunks[ci], jobs, dst, &scratch)
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

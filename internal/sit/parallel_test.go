@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/exec"
 	"github.com/sitstats/sits/internal/query"
 )
 
@@ -69,6 +70,50 @@ func TestExactMethodsBitIdenticalAcrossParallelism(t *testing.T) {
 			if !sameSIT(serial, got) {
 				t.Errorf("%v: parallelism %d differs from serial: card %v vs %v",
 					m, p, got.EstimatedCard, serial.EstimatedCard)
+			}
+		}
+	}
+}
+
+// TestExactMethodsWidthBudgetMatrix is the full determinism property of the
+// pooled engine: SweepFull and SweepExact must be bit-identical across pool
+// widths {1,2,4,8} × memory budgets {unlimited, quarter working set}. The
+// quarter budget pushes the executor's joins into spill paths while the
+// shared-scan scratch stays Force-accounted on the same governor.
+func TestExactMethodsWidthBudgetMatrix(t *testing.T) {
+	cat := multiChunkCatalog(t, 3*scanChunkRows+123)
+	e := query.MustNewExpr(query.JoinPred{LeftTable: "R", LeftAttr: "x", RightTable: "S", RightAttr: "y"})
+	spec, err := query.NewSITSpec("S", "a", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cat.Table("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := int64(s.NumRows()) * int64(s.NumCols()) * 8
+	build := func(m Method, parallelism int, budget int64) *SIT {
+		cfg := DefaultConfig()
+		cfg.Parallelism = parallelism
+		cfg.MemBudget = budget
+		b, err := NewBuilder(cat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := b.Build(spec, m)
+		if err != nil {
+			t.Fatalf("%v width=%d budget=%d: %v", m, parallelism, budget, err)
+		}
+		return out
+	}
+	for _, m := range []Method{SweepFull, SweepExact} {
+		serial := build(m, 1, 0)
+		for _, budget := range []int64{0, ws / 4} {
+			for _, p := range []int{1, 2, 4, 8} {
+				if got := build(m, p, budget); !sameSIT(serial, got) {
+					t.Errorf("%v width=%d budget=%d differs from serial: card %v vs %v",
+						m, p, budget, got.EstimatedCard, serial.EstimatedCard)
+				}
 			}
 		}
 	}
@@ -161,11 +206,11 @@ func TestConfigRejectsNegativeParallelism(t *testing.T) {
 }
 
 func TestResolveParallelism(t *testing.T) {
-	if got := resolveParallelism(3); got != 3 {
-		t.Errorf("resolveParallelism(3) = %d", got)
+	if got := exec.ResolveParallelism(3); got != 3 {
+		t.Errorf("ResolveParallelism(3) = %d", got)
 	}
-	if got := resolveParallelism(0); got < 1 {
-		t.Errorf("resolveParallelism(0) = %d, want >= 1", got)
+	if got := exec.ResolveParallelism(0); got < 1 {
+		t.Errorf("ResolveParallelism(0) = %d, want >= 1", got)
 	}
 }
 

@@ -123,7 +123,9 @@ type Config struct {
 	// Distinct selects the distinct-value estimator applied to sampled
 	// buckets (default GEE; see the sample package).
 	Distinct sample.DistinctEstimator
-	// Parallelism caps the worker count of the shared sequential scans:
+	// Parallelism is the builder's pool width (exec.ResolveParallelism): it
+	// caps the fork-join fan-out of the shared sequential scans and of the
+	// generating-query pipelines, all running on the process-wide exec pool.
 	// 0 uses GOMAXPROCS, 1 runs fully serially (bit-identical to the original
 	// single-threaded implementation), n > 1 uses at most n workers. Exact
 	// methods (SweepFull, SweepExact) produce bit-identical SITs at every
