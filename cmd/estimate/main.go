@@ -31,20 +31,22 @@ func main() {
 		sitsFile = flag.String("sits", "", "load previously saved SITs from this JSON file")
 		saveFile = flag.String("save", "", "save all built/loaded SITs to this JSON file")
 		csvDir   = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
+		segDir   = flag.String("segments", "", "directory of <table>.seg segment files; tables stream off disk block by block instead of loading into memory")
 		truth    = flag.Bool("truth", false, "also execute the query for the exact cardinality")
 		parallel = flag.Int("parallel", 0, "width of the shared exec worker pool for -build scans and query pipelines (0 = all CPUs, 1 = serial; output is bit-identical at every width)")
 		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		memFlag  = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
+		spillOn  = flag.Bool("spill-compress", true, "spill block-compressed SRN2 runs; =false spills raw SRN1 (same results, more spill bytes)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*queryStr, *predStr, *builds, *method, *sitsFile, *saveFile, *csvDir, *truth, *parallel, *batch, *memFlag, *seed); err != nil {
+	if err := run(*queryStr, *predStr, *builds, *method, *sitsFile, *saveFile, *csvDir, *segDir, *truth, *parallel, *batch, *memFlag, *spillOn, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "estimate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir string, truth bool, parallel, batch int, memFlag string, seed int64) error {
+func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir, segDir string, truth bool, parallel, batch int, memFlag string, spillCompress bool, seed int64) error {
 	if queryStr == "" {
 		return fmt.Errorf("missing -query")
 	}
@@ -56,7 +58,7 @@ func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir strin
 	if err != nil {
 		return err
 	}
-	cat, err := loadCatalog(csvDir, expr)
+	cat, err := loadCatalog(csvDir, segDir, expr)
 	if err != nil {
 		return err
 	}
@@ -64,6 +66,7 @@ func run(queryStr, predStr, builds, methodName, sitsFile, saveFile, csvDir strin
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
 	cfg.BatchSize = batch
+	cfg.SpillCompress = spillCompress
 	cfg.MemBudget, err = sits.ParseMemBudget(memFlag)
 	if err != nil {
 		return err
@@ -221,13 +224,24 @@ func parseMethod(name string) (sits.Method, error) {
 	}
 }
 
-func loadCatalog(csvDir string, expr *sits.Expr) (*sits.Catalog, error) {
-	if csvDir == "" {
+func loadCatalog(csvDir, segDir string, expr *sits.Expr) (*sits.Catalog, error) {
+	if csvDir != "" && segDir != "" {
+		return nil, fmt.Errorf("-csv and -segments are mutually exclusive")
+	}
+	if csvDir == "" && segDir == "" {
 		return sits.GenerateChainDB(sits.DefaultChainConfig())
 	}
 	cat := sits.NewCatalog()
 	for _, name := range expr.Tables() {
-		t, err := sits.ReadCSVFile(name, filepath.Join(csvDir, name+".csv"))
+		var (
+			t   *sits.Table
+			err error
+		)
+		if segDir != "" {
+			t, err = sits.OpenSegmentTable(filepath.Join(segDir, name+".seg"))
+		} else {
+			t, err = sits.ReadCSVFile(name, filepath.Join(csvDir, name+".csv"))
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -29,7 +29,7 @@ func TestRunEndToEnd(t *testing.T) {
 	statsFile := filepath.Join(dir, "stats.json")
 	// Build + estimate + save.
 	err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:100",
-		"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweepfull", "", statsFile, "", true, 0, 0, "0", 1)
+		"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweepfull", "", statsFile, "", "", true, 0, 0, "0", true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,32 +37,32 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("stats file not written: %v", err)
 	}
 	// Load the saved SITs and estimate again.
-	err = run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:100", "", "sweep", statsFile, "", "", false, 0, 0, "0", 1)
+	err = run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:100", "", "sweep", statsFile, "", "", "", false, 0, 0, "0", true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "sweep", "", "", "", false, 0, 0, "0", 1); err == nil {
+	if err := run("", "", "", "sweep", "", "", "", "", false, 0, 0, "0", true, 1); err == nil {
 		t.Error("missing query: want error")
 	}
-	if err := run("not a query ON", "", "", "sweep", "", "", "", false, 0, 0, "0", 1); err == nil {
+	if err := run("not a query ON", "", "", "sweep", "", "", "", "", false, 0, 0, "0", true, 1); err == nil {
 		t.Error("bad query: want error")
 	}
-	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "bad", "", "sweep", "", "", "", false, 0, 0, "0", 1); err == nil {
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "bad", "", "sweep", "", "", "", "", false, 0, 0, "0", true, 1); err == nil {
 		t.Error("bad predicate: want error")
 	}
-	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "zz", "sweep", "", "", "", false, 0, 0, "0", 1); err == nil {
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "zz", "sweep", "", "", "", "", false, 0, 0, "0", true, 1); err == nil {
 		t.Error("bad build spec: want error")
 	}
-	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "bogus", "", "", "", false, 0, 0, "0", 1); err == nil {
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "bogus", "", "", "", "", false, 0, 0, "0", true, 1); err == nil {
 		t.Error("bad method: want error")
 	}
-	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "", "sweep", "/no/such/file.json", "", "", false, 0, 0, "0", 1); err == nil {
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "", "", "sweep", "/no/such/file.json", "", "", "", false, 0, 0, "0", true, 1); err == nil {
 		t.Error("missing sits file: want error")
 	}
-	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:2,T2.b:1:2", "", "sweep", "", "", "", true, 0, 0, "0", 1); err == nil {
+	if err := run("T1 JOIN T2 ON T1.jnext = T2.jprev", "T2.a:1:2,T2.b:1:2", "", "sweep", "", "", "", "", true, 0, 0, "0", true, 1); err == nil {
 		t.Error("-truth with two predicates: want error")
 	}
 }

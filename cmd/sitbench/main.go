@@ -38,6 +38,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "width of the shared exec worker pool, used by experiment cells, shared scans, and query pipelines (0 = all CPUs, 1 = serial; output is bit-identical at every width)")
 		batch     = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		memBudget = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
+		spillOn   = flag.Bool("spill-compress", true, "spill block-compressed SRN2 runs; =false spills raw SRN1 (same results, more spill bytes)")
 		seed      = flag.Int64("seed", 11, "random seed")
 	)
 	flag.Parse()
@@ -46,14 +47,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sitbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *batch, budget, *seed); err != nil {
+	if err := run(*exp, *queries, *buckets, *instances, *numSITs, *lenSITs, *tables, *memory, *hybridMS, *optCap, *parallel, *batch, budget, !*spillOn, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitbench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, tables int,
-	memory float64, hybridMS, optCap, parallel, batch int, memBudget int64, seed int64) error {
+	memory float64, hybridMS, optCap, parallel, batch int, memBudget int64, spillRaw bool, seed int64) error {
 
 	schedCfg := experiments.DefaultSchedConfig()
 	schedCfg.Instances = instances
@@ -76,6 +77,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
 		cfg.MemBudget = memBudget
+		cfg.SpillRaw = spillRaw
 		if buckets != "" {
 			var err error
 			cfg.Buckets, err = parseInts(buckets)
@@ -104,6 +106,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
 		cfg.MemBudget = memBudget
+		cfg.SpillRaw = spillRaw
 		fmt.Println("== Section 5.1 (prose): uniform, independent join attributes ==")
 		res, err := experiments.RunFigure7(cfg)
 		if err != nil {
@@ -166,6 +169,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
 		cfg.MemBudget = memBudget
+		cfg.SpillRaw = spillRaw
 		cells, err := experiments.RunHistogramAblation(cfg)
 		if err != nil {
 			return err
@@ -184,6 +188,7 @@ func run(exp string, queries int, buckets string, instances, numSITs, lenSITs, t
 		cfg.Parallelism = parallel
 		cfg.BatchSize = batch
 		cfg.MemBudget = memBudget
+		cfg.SpillRaw = spillRaw
 		cells, err := experiments.RunAcyclic(cfg)
 		if err != nil {
 			return err

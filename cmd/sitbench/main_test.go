@@ -16,13 +16,13 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 10, "", 1, 4, 3, 5, 1e6, 10, 0, 0, 0, 0, 1); err == nil {
+	if err := run("bogus", 10, "", 1, 4, 3, 5, 1e6, 10, 0, 0, 0, 0, false, 1); err == nil {
 		t.Error("unknown experiment: want error")
 	}
 }
 
 func TestRunBadBuckets(t *testing.T) {
-	if err := run("fig7", 10, "1,x", 1, 4, 3, 5, 1e6, 10, 0, 0, 0, 0, 1); err == nil {
+	if err := run("fig7", 10, "1,x", 1, 4, 3, 5, 1e6, 10, 0, 0, 0, 0, false, 1); err == nil {
 		t.Error("bad buckets list: want error")
 	}
 }
@@ -33,7 +33,7 @@ func TestRunTinySweeps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure plumbing")
 	}
-	if err := run("fig9", 10, "", 2, 4, 3, 6, 100000, 50, 0, 0, 0, 0, 7); err != nil {
+	if err := run("fig9", 10, "", 2, 4, 3, 6, 100000, 50, 0, 0, 0, 0, false, 7); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -31,21 +31,23 @@ func main() {
 		buckets  = flag.Int("buckets", 100, "histogram buckets")
 		rate     = flag.Float64("rate", 0.10, "sampling rate for sweep/sweepindex")
 		csvDir   = flag.String("csv", "", "directory of <table>.csv files; default: generated chain database")
+		segDir   = flag.String("segments", "", "directory of <table>.seg segment files; tables stream off disk block by block instead of loading into memory")
 		verify   = flag.Bool("verify", false, "execute the generating query and score the SIT's accuracy")
 		queries  = flag.Int("queries", 1000, "range queries used by -verify")
 		parallel = flag.Int("parallel", 0, "width of the shared exec worker pool for scans and query pipelines (0 = all CPUs, 1 = serial; output is bit-identical at every width)")
 		batch    = flag.Int("batch", 0, "executor rows per batch (0 = adaptive from plan width)")
 		memFlag  = flag.String("mem-budget", "0", "executor memory budget, e.g. 512M or 2G (0 = unlimited); joins and sorts spill beyond it")
+		spillOn  = flag.Bool("spill-compress", true, "spill block-compressed SRN2 runs; =false spills raw SRN1 (same results, more spill bytes)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *verify, *queries, *parallel, *batch, *memFlag, *seed); err != nil {
+	if err := run(*sitSpec, *method, *buckets, *rate, *csvDir, *segDir, *verify, *queries, *parallel, *batch, *memFlag, *spillOn, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitcreate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, verify bool, queries, parallel, batch int, memFlag string, seed int64) error {
+func run(sitSpec, methodName string, buckets int, rate float64, csvDir, segDir string, verify bool, queries, parallel, batch int, memFlag string, spillCompress bool, seed int64) error {
 	if sitSpec == "" {
 		return fmt.Errorf("missing -sit (e.g. -sit \"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev\")")
 	}
@@ -57,7 +59,7 @@ func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, v
 	if err != nil {
 		return err
 	}
-	cat, err := loadCatalog(csvDir, spec)
+	cat, err := loadCatalog(csvDir, segDir, spec)
 	if err != nil {
 		return err
 	}
@@ -67,6 +69,7 @@ func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, v
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
 	cfg.BatchSize = batch
+	cfg.SpillCompress = spillCompress
 	cfg.MemBudget, err = sits.ParseMemBudget(memFlag)
 	if err != nil {
 		return err
@@ -87,6 +90,15 @@ func run(sitSpec, methodName string, buckets int, rate float64, csvDir string, v
 	}
 	elapsed := time.Since(start) //statcheck:ignore rawrand wall-clock timing column, not part of the result
 	fmt.Printf("built %s with %s in %v\n", spec.String(), method, elapsed.Round(time.Microsecond))
+	if gov := b.Governor(); gov != nil {
+		line := fmt.Sprintf("memory: peak %d of %d budget bytes", gov.Peak(), gov.Budget())
+		if store, rerr := gov.Runs(); rerr == nil {
+			if st := store.Stats(); st.SpilledBytes > 0 {
+				line += fmt.Sprintf(", spilled %d bytes (%.2fx raw)", st.SpilledBytes, st.Ratio())
+			}
+		}
+		fmt.Println(line)
+	}
 	fmt.Printf("estimated result cardinality: %.0f\n", s.EstimatedCard)
 	fmt.Printf("histogram: %v\n", s.Hist)
 	if !verify {
@@ -135,15 +147,27 @@ func parseMethod(name string) (sits.Method, error) {
 	}
 }
 
-// loadCatalog loads the referenced tables from CSV files, or generates the
-// synthetic chain database when no directory is given.
-func loadCatalog(csvDir string, spec sits.SITSpec) (*sits.Catalog, error) {
-	if csvDir == "" {
+// loadCatalog loads the referenced tables — streamed from segment files with
+// -segments, loaded from CSV files with -csv — or generates the synthetic
+// chain database when neither directory is given.
+func loadCatalog(csvDir, segDir string, spec sits.SITSpec) (*sits.Catalog, error) {
+	if csvDir != "" && segDir != "" {
+		return nil, fmt.Errorf("-csv and -segments are mutually exclusive")
+	}
+	if csvDir == "" && segDir == "" {
 		return sits.GenerateChainDB(sits.DefaultChainConfig())
 	}
 	cat := sits.NewCatalog()
 	for _, name := range spec.Expr.Tables() {
-		t, err := sits.ReadCSVFile(name, filepath.Join(csvDir, name+".csv"))
+		var (
+			t   *sits.Table
+			err error
+		)
+		if segDir != "" {
+			t, err = sits.OpenSegmentTable(filepath.Join(segDir, name+".seg"))
+		} else {
+			t, err = sits.ReadCSVFile(name, filepath.Join(csvDir, name+".csv"))
+		}
 		if err != nil {
 			return nil, err
 		}

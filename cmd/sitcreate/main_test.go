@@ -29,23 +29,23 @@ func TestParseMethod(t *testing.T) {
 }
 
 func TestRunOnGeneratedData(t *testing.T) {
-	err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweep", 50, 0.1, "", true, 100, 0, 0, "0", 1)
+	err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweep", 50, 0.1, "", "", true, 100, 0, 0, "0", true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "sweep", 50, 0.1, "", false, 10, 0, 0, "0", 1); err == nil {
+	if err := run("", "sweep", 50, 0.1, "", "", false, 10, 0, 0, "0", true, 1); err == nil {
 		t.Error("missing spec: want error")
 	}
-	if err := run("not a spec", "sweep", 50, 0.1, "", false, 10, 0, 0, "0", 1); err == nil {
+	if err := run("not a spec", "sweep", 50, 0.1, "", "", false, 10, 0, 0, "0", true, 1); err == nil {
 		t.Error("bad spec: want error")
 	}
-	if err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "bogus", 50, 0.1, "", false, 10, 0, 0, "0", 1); err == nil {
+	if err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "bogus", 50, 0.1, "", "", false, 10, 0, 0, "0", true, 1); err == nil {
 		t.Error("bad method: want error")
 	}
-	if err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweep", 50, 0.1, "/nonexistent", false, 10, 0, 0, "0", 1); err == nil {
+	if err := run("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev", "sweep", 50, 0.1, "/nonexistent", "", false, 10, 0, 0, "0", true, 1); err == nil {
 		t.Error("missing CSV dir: want error")
 	}
 }
@@ -70,7 +70,7 @@ func TestRunOnCSV(t *testing.T) {
 	if err := sits.WriteCSVFile(s, filepath.Join(dir, "S.csv")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("S.a | R JOIN S ON R.x = S.y", "sweepexact", 100, 0.1, dir, true, 100, 0, 0, "0", 1); err != nil {
+	if err := run("S.a | R JOIN S ON R.x = S.y", "sweepexact", 100, 0.1, dir, "", true, 100, 0, 0, "0", true, 1); err != nil {
 		t.Fatal(err)
 	}
 }

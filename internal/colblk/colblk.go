@@ -1,0 +1,220 @@
+// Package colblk is the block codec shared by the on-disk storage layers:
+// the columnar segment files of internal/data and the compressed (SRN2)
+// spill runs of internal/mem. A block is one column's slice of up to a few
+// thousand int64 values; the codec encodes each block independently with the
+// cheapest of three encodings, chosen per block by a trial sizing pass:
+//
+//   - EncRaw: 8-byte little-endian values, the fallback for incompressible
+//     blocks (the encoded size is exactly 8*n bytes).
+//   - EncConst: a single 8-byte value repeated n times; common for
+//     low-cardinality dimension columns and padding.
+//   - EncDelta: zigzag-varint deltas from the previous value (the first
+//     value is a zigzag-varint of itself). Sorted and near-sorted columns
+//     (row ids, timestamps, clustered keys) shrink to 1-2 bytes per value.
+//
+// Deltas are computed in two's-complement wraparound arithmetic, so the
+// encoding is total: any int64 sequence round-trips, including sequences
+// whose differences overflow int64. The codec performs no checksumming —
+// containers (segment blocks, run-store batches) CRC their framing, which
+// covers the encoded payload. Decode errors are sentinel values so the hot
+// loops stay allocation-free; containers wrap them with file context.
+package colblk
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// Encoding identifiers, stored by containers alongside each block.
+const (
+	// EncRaw is 8-byte little-endian values.
+	EncRaw byte = 0
+	// EncConst is one 8-byte little-endian value repeated for the block.
+	EncConst byte = 1
+	// EncDelta is zigzag-varint deltas from the previous value.
+	EncDelta byte = 2
+)
+
+// Decode failure sentinels. Decode never returns a partial block: any size
+// or framing mismatch yields one of these and no values.
+var (
+	// ErrBadEncoding marks an encoding byte the codec does not know.
+	ErrBadEncoding = errors.New("colblk: unknown encoding")
+	// ErrBlockSize marks a payload whose byte length disagrees with the
+	// declared value count.
+	ErrBlockSize = errors.New("colblk: payload size disagrees with value count")
+	// ErrTruncated marks a varint stream that ends mid-value.
+	ErrTruncated = errors.New("colblk: block truncated mid-value")
+)
+
+// zigzag maps signed deltas to unsigned varint-friendly space: small
+// magnitudes of either sign get small codes.
+//
+//statcheck:hot
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+//statcheck:hot
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarintLen returns the number of bytes binary.PutUvarint uses for u.
+//
+//statcheck:hot
+func uvarintLen(u uint64) int { return (bits.Len64(u|1) + 6) / 7 }
+
+// Choose sizes the candidate encodings for one block and returns the
+// smallest, with its encoded byte size. Blocks must be non-empty.
+//
+//statcheck:hot
+func Choose(vals []int64) (enc byte, size int) {
+	raw := 8 * len(vals)
+	constant := true
+	prev := int64(0)
+	delta := 0
+	for i, v := range vals {
+		if v != vals[0] {
+			constant = false
+		}
+		if i == 0 {
+			delta += uvarintLen(zigzag(v))
+		} else {
+			delta += uvarintLen(zigzag(int64(uint64(v) - uint64(prev))))
+		}
+		prev = v
+	}
+	if constant {
+		return EncConst, 8
+	}
+	if delta < raw {
+		return EncDelta, delta
+	}
+	return EncRaw, raw
+}
+
+// Append encodes vals with enc and appends the payload to dst, returning the
+// extended slice. enc must come from Choose over the same values (EncConst
+// in particular asserts all values are equal only via Choose).
+//
+//statcheck:hot
+func Append(dst []byte, enc byte, vals []int64) []byte {
+	switch enc {
+	case EncRaw:
+		off := len(dst)
+		dst = grow(dst, 8*len(vals))
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(dst[off:], uint64(v))
+			off += 8
+		}
+		return dst
+	case EncConst:
+		off := len(dst)
+		dst = grow(dst, 8)
+		binary.LittleEndian.PutUint64(dst[off:], uint64(vals[0]))
+		return dst
+	case EncDelta:
+		off := len(dst)
+		dst = grow(dst, binary.MaxVarintLen64*len(vals))
+		prev := int64(0)
+		for i, v := range vals {
+			var z uint64
+			if i == 0 {
+				z = zigzag(v)
+			} else {
+				z = zigzag(int64(uint64(v) - uint64(prev)))
+			}
+			off += binary.PutUvarint(dst[off:], z)
+			prev = v
+		}
+		return dst[:off]
+	default:
+		// Encoding bytes come from Choose; anything else is caller error.
+		panic(ErrBadEncoding)
+	}
+}
+
+// grow extends dst by n bytes (reallocating only when capacity is short) and
+// returns the extended slice; the new bytes are uninitialized scratch for the
+// caller to fill.
+//
+//statcheck:hot
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) < n {
+		out := make([]byte, len(dst), 2*len(dst)+n)
+		copy(out, dst)
+		dst = out
+	}
+	return dst[:len(dst)+n]
+}
+
+// Decode decodes an n-value block payload into dst (reusing its capacity)
+// and returns the decoded slice. The payload must be exactly one block: a
+// short, long, or malformed payload is an error, never a partial result.
+//
+//statcheck:hot
+func Decode(dst []int64, enc byte, src []byte, n int) ([]int64, error) {
+	if n < 0 {
+		return nil, ErrBlockSize
+	}
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	switch enc {
+	case EncRaw:
+		if len(src) != 8*n {
+			return nil, ErrBlockSize
+		}
+		for i := range dst {
+			dst[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+		return dst, nil
+	case EncConst:
+		if len(src) != 8 {
+			return nil, ErrBlockSize
+		}
+		v := int64(binary.LittleEndian.Uint64(src))
+		for i := range dst {
+			dst[i] = v
+		}
+		return dst, nil
+	case EncDelta:
+		prev := uint64(0)
+		off := 0
+		for i := 0; i < n; i++ {
+			z, k := binary.Uvarint(src[off:])
+			if k <= 0 {
+				return nil, ErrTruncated
+			}
+			off += k
+			prev += uint64(unzigzag(z))
+			dst[i] = int64(prev)
+		}
+		if off != len(src) {
+			return nil, ErrBlockSize
+		}
+		return dst, nil
+	default:
+		return nil, ErrBadEncoding
+	}
+}
+
+// MaxEncodedLen bounds the encoded size of an n-value block across all
+// encodings; containers use it to size write buffers.
+func MaxEncodedLen(n int) int { return binary.MaxVarintLen64 * n }
+
+// MinMax returns the extrema of a non-empty block; segment footers store
+// them for range-filter block skipping.
+//
+//statcheck:hot
+func MinMax(vals []int64) (minV, maxV int64) {
+	minV, maxV = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return minV, maxV
+}

@@ -1,0 +1,267 @@
+package colblk
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes vals with the chosen encoding and decodes it back,
+// asserting the payload size matches Choose's trial sizing exactly.
+func roundTrip(t *testing.T, vals []int64) {
+	t.Helper()
+	enc, size := Choose(vals)
+	payload := Append(nil, enc, vals)
+	if len(payload) != size {
+		t.Fatalf("Choose sized enc %d at %d bytes, Append produced %d", enc, size, len(payload))
+	}
+	got, err := Decode(nil, enc, payload, len(vals))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("Decode returned %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: got %d, want %d (enc %d)", i, got[i], vals[i], enc)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := map[string][]int64{
+		"single":        {42},
+		"constant":      {7, 7, 7, 7, 7, 7},
+		"constant-neg":  {-3, -3, -3},
+		"sorted":        {1, 2, 3, 4, 5, 100, 101, 102},
+		"descending":    {100, 90, 80, 70, 0, -10},
+		"mixed-sign":    {-5, 9, -13, 2, 0, 44, -1},
+		"extremes":      {math.MinInt64, math.MaxInt64, 0, math.MinInt64, math.MaxInt64},
+		"overflow-step": {math.MinInt64, math.MaxInt64},
+		"zeros":         {0, 0, 0, 0},
+	}
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, vals) })
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1)) //statcheck:ignore rawrand seeded test data
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4096)
+		vals := make([]int64, n)
+		switch trial % 4 {
+		case 0: // full-range noise: raw should win
+			for i := range vals {
+				vals[i] = int64(rng.Uint64())
+			}
+		case 1: // near-sorted: delta should win
+			v := int64(rng.Intn(1000))
+			for i := range vals {
+				v += int64(rng.Intn(16))
+				vals[i] = v
+			}
+		case 2: // constant
+			c := int64(rng.Uint64())
+			for i := range vals {
+				vals[i] = c
+			}
+		case 3: // small magnitudes either sign
+			for i := range vals {
+				vals[i] = int64(rng.Intn(200) - 100)
+			}
+		}
+		roundTrip(t, vals)
+	}
+}
+
+func TestChoosePicks(t *testing.T) {
+	constant := []int64{5, 5, 5, 5, 5, 5, 5, 5}
+	if enc, size := Choose(constant); enc != EncConst || size != 8 {
+		t.Fatalf("constant block: got enc %d size %d, want EncConst 8", enc, size)
+	}
+	sorted := make([]int64, 1000)
+	for i := range sorted {
+		sorted[i] = int64(i) * 3
+	}
+	if enc, size := Choose(sorted); enc != EncDelta || size >= 8*len(sorted) {
+		t.Fatalf("sorted block: got enc %d size %d, want EncDelta smaller than raw", enc, size)
+	}
+	rng := rand.New(rand.NewSource(2)) //statcheck:ignore rawrand seeded test data
+	noise := make([]int64, 1000)
+	for i := range noise {
+		noise[i] = int64(rng.Uint64())
+	}
+	if enc, size := Choose(noise); enc != EncRaw || size != 8*len(noise) {
+		t.Fatalf("noise block: got enc %d size %d, want EncRaw %d", enc, size, 8*len(noise))
+	}
+}
+
+func TestDecodeReuse(t *testing.T) {
+	vals := []int64{10, 20, 30, 40}
+	enc, _ := Choose(vals)
+	payload := Append(nil, enc, vals)
+	scratch := make([]int64, 0, 16)
+	got, err := Decode(scratch, enc, payload, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("Decode did not reuse caller capacity")
+	}
+}
+
+func TestAppendExtends(t *testing.T) {
+	a := []int64{1, 2, 3}
+	b := []int64{9, 9, 9}
+	encA, sizeA := Choose(a)
+	encB, sizeB := Choose(b)
+	buf := Append(nil, encA, a)
+	buf = Append(buf, encB, b)
+	if len(buf) != sizeA+sizeB {
+		t.Fatalf("concatenated payload %d bytes, want %d", len(buf), sizeA+sizeB)
+	}
+	gotA, err := Decode(nil, encA, buf[:sizeA], len(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := Decode(nil, encB, buf[sizeA:], len(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if gotA[i] != a[i] || gotB[i] != b[i] {
+			t.Fatalf("concatenated round-trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	vals := []int64{1, 5, 2, 8, 3}
+	for _, enc := range []byte{EncRaw, EncDelta} {
+		payload := Append(nil, enc, vals)
+		if _, err := Decode(nil, enc, payload[:len(payload)-1], len(vals)); err == nil {
+			t.Fatalf("enc %d: short payload not rejected", enc)
+		}
+		long := append(append([]byte(nil), payload...), 0)
+		if _, err := Decode(nil, enc, long, len(vals)); err == nil {
+			t.Fatalf("enc %d: trailing bytes not rejected", enc)
+		}
+	}
+	if _, err := Decode(nil, EncConst, []byte{1, 2, 3}, 4); !errors.Is(err, ErrBlockSize) {
+		t.Fatalf("const wrong size: got %v, want ErrBlockSize", err)
+	}
+	if _, err := Decode(nil, 77, []byte{0}, 1); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("unknown encoding: got %v, want ErrBadEncoding", err)
+	}
+	if _, err := Decode(nil, EncRaw, nil, -1); !errors.Is(err, ErrBlockSize) {
+		t.Fatalf("negative count: got %v, want ErrBlockSize", err)
+	}
+	// A truncated varint stream must fail mid-value, not under-fill.
+	big := Append(nil, EncDelta, []int64{math.MaxInt64})
+	if _, err := Decode(nil, EncDelta, big[:1], 1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-varint truncation: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestAppendUnknownEncodingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append with unknown encoding did not panic")
+		}
+	}()
+	Append(nil, 99, []int64{1})
+}
+
+func TestUvarintLenMatchesPutUvarint(t *testing.T) {
+	var buf [binary.MaxVarintLen64]byte
+	probes := []uint64{0, 1, 127, 128, 1 << 14, 1<<14 - 1, 1 << 21, 1 << 63, math.MaxUint64}
+	for _, u := range probes {
+		if got, want := uvarintLen(u), binary.PutUvarint(buf[:], u); got != want {
+			t.Fatalf("uvarintLen(%d) = %d, PutUvarint wrote %d", u, got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	minV, maxV := MinMax([]int64{3, -7, 12, 0, 12, -7})
+	if minV != -7 || maxV != 12 {
+		t.Fatalf("MinMax = (%d, %d), want (-7, 12)", minV, maxV)
+	}
+	minV, maxV = MinMax([]int64{5})
+	if minV != 5 || maxV != 5 {
+		t.Fatalf("MinMax single = (%d, %d), want (5, 5)", minV, maxV)
+	}
+}
+
+func TestMaxEncodedLenBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3)) //statcheck:ignore rawrand seeded test data
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(1024)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Uint64())
+		}
+		enc, size := Choose(vals)
+		if size > MaxEncodedLen(n) {
+			t.Fatalf("enc %d sized %d exceeds MaxEncodedLen(%d) = %d", enc, size, n, MaxEncodedLen(n))
+		}
+	}
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 8 {
+			return
+		}
+		vals := make([]int64, len(raw)/8)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		roundTrip(t, vals)
+	})
+}
+
+func BenchmarkEncode(b *testing.B) {
+	vals := make([]int64, 4096)
+	v := int64(0)
+	rng := rand.New(rand.NewSource(4)) //statcheck:ignore rawrand seeded bench data
+	for i := range vals {
+		v += int64(rng.Intn(32))
+		vals[i] = v
+	}
+	buf := make([]byte, 0, MaxEncodedLen(len(vals)))
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, _ := Choose(vals)
+		buf = Append(buf[:0], enc, vals)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	vals := make([]int64, 4096)
+	v := int64(0)
+	rng := rand.New(rand.NewSource(5)) //statcheck:ignore rawrand seeded bench data
+	for i := range vals {
+		v += int64(rng.Intn(32))
+		vals[i] = v
+	}
+	enc, _ := Choose(vals)
+	payload := Append(nil, enc, vals)
+	dst := make([]int64, 0, len(vals))
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = Decode(dst, enc, payload, len(vals))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -75,6 +75,77 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	return t, nil
 }
 
+// StreamCSVToSegment converts CSV (header row, one base-10 int64 per column)
+// into an already-created segment writer, batch by batch: peak memory is one
+// parse batch plus the writer's pending group, independent of the row count,
+// so tables far larger than RAM convert in bounded space. The writer must
+// have been created with CreateSegment over exactly the CSV's header columns;
+// the caller still owns Finish. Returns the number of data rows streamed.
+func StreamCSVToSegment(name string, r io.Reader, w *SegmentWriter) (int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("data: reading CSV header for %q: %w", name, err)
+	}
+	want := w.ColumnNames()
+	if len(header) != len(want) {
+		return 0, fmt.Errorf("data: CSV for %q has %d columns, segment expects %d", name, len(header), len(want))
+	}
+	for i, h := range header {
+		if h != want[i] {
+			return 0, fmt.Errorf("data: CSV for %q column %d is %q, segment expects %q", name, i, h, want[i])
+		}
+	}
+	const batchRows = 4096
+	buf := make([][]int64, len(header))
+	for i := range buf {
+		buf[i] = make([]int64, 0, batchRows)
+	}
+	rows := 0
+	flush := func() error {
+		if len(buf[0]) == 0 {
+			return nil
+		}
+		if err := w.Append(buf); err != nil {
+			return err
+		}
+		rows += len(buf[0])
+		for i := range buf {
+			buf[i] = buf[i][:0]
+		}
+		return nil
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rows, fmt.Errorf("data: reading CSV for %q line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return rows, fmt.Errorf("data: CSV for %q line %d: got %d fields, want %d", name, line, len(rec), len(header))
+		}
+		for i, field := range rec {
+			v, err := strconv.ParseInt(field, 10, 64)
+			if err != nil {
+				return rows, fmt.Errorf("data: CSV for %q line %d column %q: %w", name, line, header[i], err)
+			}
+			buf[i] = append(buf[i], v)
+		}
+		if len(buf[0]) == batchRows {
+			if err := flush(); err != nil {
+				return rows, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
 // ReadCSVFile loads a table from the CSV file at path; see ReadCSV.
 func ReadCSVFile(name, path string) (*Table, error) {
 	f, err := os.Open(path)

@@ -14,6 +14,7 @@ package data
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Column is a single named attribute of a table, stored contiguously.
@@ -35,6 +36,14 @@ type Table struct {
 	// generation they were built against and must assert it still matches
 	// before serving, so a mutated table can never satisfy a stale lookup.
 	gen uint64
+
+	// seg backs a read-only, segment-backed table (OpenSegmentTable): scans
+	// stream blocks off disk and full columns materialize lazily under segMu
+	// on first Column access, with segLoaded[i] marking columns already
+	// decoded into cols[i].Vals. Segment-backed tables reject mutation.
+	seg       *Segment
+	segMu     sync.Mutex
+	segLoaded []bool
 }
 
 // NewTable creates an empty table with the given column names. Column names
@@ -86,10 +95,39 @@ func (t *Table) Generation() uint64 { return t.gen }
 
 // NumRows returns the number of rows in the table.
 func (t *Table) NumRows() int {
+	if t.seg != nil {
+		return int(t.seg.nrows)
+	}
 	if len(t.cols) == 0 {
 		return 0
 	}
 	return len(t.cols[0].Vals)
+}
+
+// Segment returns the backing segment of a segment-backed table, or nil for
+// an in-memory table.
+func (t *Table) Segment() *Segment { return t.seg }
+
+// Close releases the backing segment's file handle, if any. In-memory
+// tables need no Close; calling it is a no-op.
+func (t *Table) Close() error {
+	if t.seg == nil {
+		return nil
+	}
+	return t.seg.Close()
+}
+
+// materialized reports whether every column of a segment-backed table has
+// been decoded into memory.
+func (t *Table) materialized() bool {
+	t.segMu.Lock()
+	defer t.segMu.Unlock()
+	for _, ok := range t.segLoaded {
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // NumCols returns the number of columns in the table.
@@ -111,11 +149,26 @@ func (t *Table) HasColumn(name string) bool {
 }
 
 // Column returns the full value slice of the named column. The returned slice
-// is the table's backing storage and must not be modified by callers.
+// is the table's backing storage and must not be modified by callers. On a
+// segment-backed table the column is decoded from disk and cached on first
+// access; consumers that only scan should prefer OpenChunks, which streams
+// blocks without retaining them.
 func (t *Table) Column(name string) ([]int64, error) {
 	i, ok := t.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("data: table %q has no column %q", t.name, name)
+	}
+	if t.seg != nil {
+		t.segMu.Lock()
+		defer t.segMu.Unlock()
+		if !t.segLoaded[i] {
+			vals, err := t.seg.ReadColumn(name)
+			if err != nil {
+				return nil, err
+			}
+			t.cols[i].Vals = vals
+			t.segLoaded[i] = true
+		}
 	}
 	return t.cols[i].Vals, nil
 }
@@ -132,6 +185,9 @@ func (t *Table) MustColumn(name string) []int64 {
 // AppendRow appends one row. The number of values must equal the number of
 // columns, in declaration order.
 func (t *Table) AppendRow(vals ...int64) error {
+	if t.seg != nil {
+		return fmt.Errorf("data: table %q is segment-backed and read-only", t.name)
+	}
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("data: table %q: AppendRow got %d values, want %d", t.name, len(vals), len(t.cols))
 	}
@@ -149,7 +205,7 @@ func (t *Table) AppendRow(vals ...int64) error {
 // row instead of copying the table each time. It never shrinks and is a no-op
 // for n <= 0.
 func (t *Table) Grow(n int) {
-	if n <= 0 {
+	if n <= 0 || t.seg != nil {
 		return
 	}
 	// Growth may reallocate the backing arrays, so slices handed out before
@@ -175,6 +231,9 @@ func (t *Table) Grow(n int) {
 // the bulk counterpart of AppendRow — a batch of k rows costs one copy per
 // column instead of k per-row appends.
 func (t *Table) AppendColumns(vals ...[]int64) error {
+	if t.seg != nil {
+		return fmt.Errorf("data: table %q is segment-backed and read-only", t.name)
+	}
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("data: table %q: AppendColumns got %d columns, want %d", t.name, len(vals), len(t.cols))
 	}
@@ -203,6 +262,9 @@ func (t *Table) AppendBatch(cols [][]int64) error {
 // must have equal length once the table is used, which is validated by
 // Validate; SetColumn itself only checks the column exists.
 func (t *Table) SetColumn(name string, vals []int64) error {
+	if t.seg != nil {
+		return fmt.Errorf("data: table %q is segment-backed and read-only", t.name)
+	}
 	i, ok := t.byName[name]
 	if !ok {
 		return fmt.Errorf("data: table %q has no column %q", t.name, name)
@@ -213,8 +275,12 @@ func (t *Table) SetColumn(name string, vals []int64) error {
 }
 
 // Validate checks the structural invariants of the table: all columns have
-// the same length.
+// the same length. A segment-backed table is validated against its footer
+// when opened, and unmaterialized columns have no in-memory length to check.
 func (t *Table) Validate() error {
+	if t.seg != nil {
+		return nil
+	}
 	n := t.NumRows()
 	for i := range t.cols {
 		if len(t.cols[i].Vals) != n {
@@ -349,8 +415,13 @@ func (s *Scanner) Reset() { s.pos = 0 }
 func (s *Scanner) Remaining() int { return s.n - s.pos }
 
 // MinMax returns the minimum and maximum values of the named column.
-// ok is false when the table is empty.
+// ok is false when the table is empty. On a segment-backed table the
+// extrema aggregate from the footer's per-block statistics, touching no
+// block data.
 func (t *Table) MinMax(column string) (minV, maxV int64, ok bool, err error) {
+	if t.seg != nil {
+		return t.seg.ColumnMinMax(column)
+	}
 	vals, err := t.Column(column)
 	if err != nil {
 		return 0, 0, false, err

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/sitstats/sits/internal/mem"
 )
@@ -20,10 +22,11 @@ import (
 //
 // Under a memory governor BatchSort is an external merge sort: input buffers
 // grow only as far as the operator's grant allows; when a reservation is
-// denied the buffered rows are argsorted and spilled as one sorted run, and
-// after the drain the spilled runs are recombined by a loser-tree k-way
-// merge, breaking key ties by run index so the merged stream is bit-identical
-// to the in-memory stable sort at any budget. Without a governor (or when
+// denied the buffered rows are stolen into a pool task that argsorts and
+// spills them as one sorted run while the drain keeps scanning, and after the
+// drain the spilled runs are recombined by a loser-tree k-way merge, breaking
+// key ties by run index so the merged stream is bit-identical to the
+// in-memory stable sort at any budget and any pool width. Without a governor (or when
 // everything fits the budget) the in-memory path is unchanged: argsort an
 // index permutation, gather every column once, serve zero-copy sub-slices.
 //
@@ -53,12 +56,41 @@ type BatchSort struct {
 	bufBytes  int64
 	perm      []int32
 	permBytes int64
-	chunk     [][]int64
+	// Async run generation: a flushed buffer is stolen (columns plus their
+	// byte reservation) into a pool task that argsorts and spills it while
+	// the drain keeps scanning. runTarget is latched to half the buffer's
+	// high-water size at the first budget denial, so from then on half the
+	// budget holds the run being spilled and half refills behind it.
+	runTarget int64
+	spills    []*spillJob
+	mu        sync.Mutex // guards runs and spillErr against spill tasks
+	spillErr  any
 	// Spill mode: sorted runs recombined by a loser-tree merge.
 	runs    []*mem.Run
 	cursors []*colCursor
 	lt      *loserTree
 	bufs    [][]int64
+}
+
+// spillJob is one stolen sort buffer awaiting argsort + spill. The pool runs
+// it when a worker frees up, but the claim flag lets the sort itself execute
+// the job inline from waitSpills — so a sort blocked waiting on its spills
+// always makes progress even when every pool worker is busy (or is itself a
+// sort waiting on spills).
+type spillJob struct {
+	claimed atomic.Bool
+	done    chan struct{}
+	run     func()
+}
+
+// exec runs the job if no one has claimed it yet; otherwise the claimer is
+// already on it and done will close when it finishes.
+func (j *spillJob) exec() {
+	if !j.claimed.CompareAndSwap(false, true) {
+		return
+	}
+	defer close(j.done)
+	j.run()
 }
 
 // NewBatchSort sorts in by col ascending, with an adaptive batch size derived
@@ -121,29 +153,68 @@ func (s *BatchSort) argsortBuf() {
 	s.perm = perm
 }
 
-// flushRun argsorts the buffered rows and spills them as one sorted run,
-// releasing the buffer's reservation. Runs are numbered in creation order,
-// which is input order — the merge's tie-break relies on that.
-func (s *BatchSort) flushRun() {
+// flushRunAsync steals the buffered rows — columns and their byte
+// reservation — into a pool task that argsorts and spills them as one sorted
+// run, then hands the drain a fresh empty buffer. The run's slot in s.runs is
+// assigned here, at steal time, so run numbering is input order regardless of
+// which spill task finishes first — the merge's (key, run index) tie-break
+// relies on that. The stolen reservation is released by the task once the run
+// is on disk; a panic inside the task (spillFail on I/O errors) is stashed
+// and re-raised by waitSpills on the draining goroutine.
+func (s *BatchSort) flushRunAsync() {
 	nc := len(s.bufCols)
-	n := len(s.bufCols[s.idx])
-	if n == 0 {
+	if nc == 0 || len(s.bufCols[s.idx]) == 0 {
 		return
 	}
-	s.argsortBuf()
 	store, err := s.gov.Runs()
 	if err != nil {
 		spillFail("open run store", err)
 	}
+	cols, bytes := s.bufCols, s.bufBytes
+	s.bufCols = make([][]int64, nc)
+	s.bufBytes = 0
+	s.mu.Lock()
+	slot := len(s.runs)
+	s.runs = append(s.runs, nil)
+	s.mu.Unlock()
+	j := &spillJob{done: make(chan struct{})}
+	j.run = func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				if s.spillErr == nil {
+					s.spillErr = r
+				}
+				s.mu.Unlock()
+			}
+		}()
+		s.spillRun(store, cols, slot)
+		s.grant.Release(bytes)
+	}
+	s.spills = append(s.spills, j)
+	Default().Submit(j.exec)
+}
+
+// spillRun stable-argsorts cols by the key column and writes them as the
+// sorted run in slot. It runs on a pool worker (or inline from waitSpills),
+// so it works only on its own arguments and per-call scratch; s.runs is the
+// one shared structure it touches, under s.mu.
+func (s *BatchSort) spillRun(store *mem.RunStore, cols [][]int64, slot int) {
+	nc := len(cols)
+	n := len(cols[s.idx])
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	key := cols[s.idx]
+	sort.SliceStable(perm, func(i, j int) bool { return key[perm[i]] < key[perm[j]] })
 	w, err := store.Create("sortrun", nc)
 	if err != nil {
 		spillFail("create sorted run", err)
 	}
-	if s.chunk == nil {
-		s.chunk = make([][]int64, nc)
-		for c := range s.chunk {
-			s.chunk[c] = make([]int64, spillBatchRows)
-		}
+	chunk := make([][]int64, nc)
+	for c := range chunk {
+		chunk[c] = make([]int64, spillBatchRows)
 	}
 	for start := 0; start < n; start += spillBatchRows {
 		end := start + spillBatchRows
@@ -151,14 +222,14 @@ func (s *BatchSort) flushRun() {
 			end = n
 		}
 		for c := 0; c < nc; c++ {
-			dst := s.chunk[c][:end-start]
-			src := s.bufCols[c]
+			dst := chunk[c][:end-start]
+			src := cols[c]
 			for i := range dst {
-				dst[i] = src[s.perm[start+i]]
+				dst[i] = src[perm[start+i]]
 			}
-			s.chunk[c] = dst
+			chunk[c] = dst
 		}
-		if err := w.WriteColumns(s.chunk); err != nil {
+		if err := w.WriteColumns(chunk); err != nil {
 			spillFail("write sorted run", err)
 		}
 	}
@@ -166,12 +237,32 @@ func (s *BatchSort) flushRun() {
 	if err != nil {
 		spillFail("finish sorted run", err)
 	}
-	s.runs = append(s.runs, run)
-	for c := range s.bufCols {
-		s.bufCols[c] = s.bufCols[c][:0]
+	s.mu.Lock()
+	s.runs[slot] = run
+	s.mu.Unlock()
+}
+
+// waitSpills drives every outstanding spill job to completion and re-raises
+// the first panic any of them hit. The wait claims unstarted jobs and runs
+// them inline (see spillJob), so it cannot deadlock behind a saturated pool.
+func (s *BatchSort) waitSpills() {
+	if len(s.spills) == 0 {
+		return
 	}
-	s.grant.Release(s.bufBytes)
-	s.bufBytes = 0
+	for _, j := range s.spills {
+		j.exec()
+	}
+	for _, j := range s.spills {
+		<-j.done
+	}
+	s.spills = s.spills[:0]
+	s.mu.Lock()
+	r := s.spillErr
+	s.spillErr = nil
+	s.mu.Unlock()
+	if r != nil {
+		panic(r)
+	}
 }
 
 // reserveDrain reserves the bytes that admitting batch b into the drain
@@ -224,27 +315,41 @@ func (s *BatchSort) sort() {
 		if !ok {
 			break
 		}
+		// Once runTarget is latched, flush proactively at half the budget:
+		// the stolen half spills on the pool while the freed half refills
+		// behind it, overlapping run generation with the scan.
+		if s.runTarget > 0 && s.bufBytes >= s.runTarget {
+			s.flushRunAsync()
+		}
 		if s.reserveDrain(b, nc, false) {
 			s.drainBatch(b)
 			continue
 		}
-		// Budget denied: spill what is buffered, then retry; a single batch
-		// larger than the whole budget is force-admitted and spilled alone.
-		s.flushRun()
+		// Budget denied: steal the buffer into a spill task, wait for every
+		// in-flight spill to return its reservation, then retry; a single
+		// batch larger than the whole budget is force-admitted and spilled
+		// alone.
+		if s.runTarget == 0 {
+			s.runTarget = s.bufBytes / 2
+		}
+		s.flushRunAsync()
+		s.waitSpills()
 		if s.reserveDrain(b, nc, false) {
 			s.drainBatch(b)
 			continue
 		}
 		s.reserveDrain(b, nc, true)
 		s.drainBatch(b)
-		s.flushRun()
+		s.flushRunAsync()
+		s.waitSpills()
 	}
 
 	if len(s.runs) == 0 {
 		s.finishInMemory(scan, fromScan)
 		return
 	}
-	s.flushRun()
+	s.flushRunAsync()
+	s.waitSpills()
 	s.bufCols = nil
 	s.openMerge()
 }
@@ -276,7 +381,8 @@ func (s *BatchSort) finishInMemory(scan *BatchScan, fromScan bool) {
 	case presorted:
 		s.cols = cols
 	case !s.grant.TryReserve(int64(s.n) * int64(nc) * 8):
-		s.flushRun()
+		s.flushRunAsync()
+		s.waitSpills()
 		s.bufCols = nil
 		s.openMerge()
 		return

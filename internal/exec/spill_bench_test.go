@@ -10,12 +10,40 @@ import (
 // unlimited budget (pure in-memory path) and once with a budget of 25% of
 // its working set, so three quarters of the state spills through the run
 // store. The gap between the two is the price of spilling; the outputs are
-// identical by construction (see spill_test.go).
+// identical by construction (see spill_test.go). The spilling regime runs
+// twice — raw SRN1 runs vs compressed SRN2 runs — and reports the spilled
+// byte count and the raw/spilled compression ratio, so the wall-time cost
+// and byte savings of spill compression are visible side by side.
 
-// graceBenchBudgets returns the benchmark budget regimes for a working set:
-// unlimited, and a quarter of the working set.
-func graceBenchBudgets(workingSet int64) map[string]int64 {
-	return map[string]int64{"unlimited": 0, "quarter": workingSet / 4}
+// spillRegime is one benchmark configuration: a budget plus a run format.
+type spillRegime struct {
+	name     string
+	budget   int64
+	compress bool
+}
+
+// spillRegimes returns the benchmark regimes for a working set: unlimited,
+// and a quarter of the working set with raw and with compressed runs.
+func spillRegimes(workingSet int64) []spillRegime {
+	return []spillRegime{
+		{"unlimited", 0, true},
+		{"quarter-srn1", workingSet / 4, false},
+		{"quarter-srn2", workingSet / 4, true},
+	}
+}
+
+// reportSpill attaches the run store's byte counters to the benchmark.
+func reportSpill(b *testing.B, gov *mem.Governor) {
+	store, err := gov.Runs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := store.Stats()
+	if stats.SpilledBytes == 0 {
+		b.Fatal("governed run never spilled; the budget regime is not exercised")
+	}
+	b.ReportMetric(float64(stats.SpilledBytes)/1e6, "spilledMB")
+	b.ReportMetric(stats.Ratio(), "compressratio")
 }
 
 // BenchmarkGraceJoin measures a 200k x 200k hash join (~2M output rows)
@@ -23,10 +51,11 @@ func graceBenchBudgets(workingSet int64) map[string]int64 {
 func BenchmarkGraceJoin(b *testing.B) {
 	r, s := benchJoinInputs(200_000, 200_000, 20_000)
 	ws := int64(r.NumRows()*r.NumCols()) * 8
-	for name, budget := range graceBenchBudgets(ws) {
-		b.Run(name, func(b *testing.B) {
+	for _, reg := range spillRegimes(ws) {
+		b.Run(reg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				gov := mem.NewGovernor(budget)
+				gov := mem.NewGovernor(reg.budget)
+				gov.SetSpillCompression(reg.compress)
 				j, err := NewVecHashJoinMem(NewBatchScan(r), NewBatchScan(s), 1, 0, gov,
 					JoinCond{LeftCol: "R.x", RightCol: "S.y"})
 				if err != nil {
@@ -39,6 +68,9 @@ func BenchmarkGraceJoin(b *testing.B) {
 						break
 					}
 					rows += int64(batch.NumRows())
+				}
+				if reg.budget > 0 {
+					reportSpill(b, gov)
 				}
 				if err := gov.Close(); err != nil {
 					b.Fatal(err)
@@ -54,10 +86,11 @@ func BenchmarkGraceJoin(b *testing.B) {
 func BenchmarkExternalSort(b *testing.B) {
 	tab := benchSortInput(500_000)
 	ws := int64(tab.NumRows()*tab.NumCols()) * 8
-	for name, budget := range graceBenchBudgets(ws) {
-		b.Run(name, func(b *testing.B) {
+	for _, reg := range spillRegimes(ws) {
+		b.Run(reg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				gov := mem.NewGovernor(budget)
+				gov := mem.NewGovernor(reg.budget)
+				gov.SetSpillCompression(reg.compress)
 				s, err := NewBatchSortMem(NewBatchScan(tab), "R.x", 0, gov, nil)
 				if err != nil {
 					b.Fatal(err)
@@ -69,6 +102,9 @@ func BenchmarkExternalSort(b *testing.B) {
 						break
 					}
 					rows += int64(batch.NumRows())
+				}
+				if reg.budget > 0 {
+					reportSpill(b, gov)
 				}
 				if err := gov.Close(); err != nil {
 					b.Fatal(err)

@@ -34,9 +34,29 @@ type Governor struct {
 	used   int64
 	peak   int64
 
+	// spillRaw disables SRN2 spill compression for the governor's run
+	// store; the zero value means compression on.
+	spillRaw atomic.Bool
+
 	store     *RunStore
 	storeErr  error
 	storeOnce sync.Once
+}
+
+// SetSpillCompression switches the governor's run store between SRN2
+// compressed spill runs (on, the default) and raw SRN1. Safe on a nil
+// governor and before or after the store's first use.
+func (g *Governor) SetSpillCompression(on bool) {
+	if g == nil {
+		return
+	}
+	g.spillRaw.Store(!on)
+	g.mu.Lock()
+	store := g.store
+	g.mu.Unlock()
+	if store != nil {
+		store.SetCompression(on)
+	}
 }
 
 // NewGovernor creates a Governor with the given byte budget (0 = unlimited).
@@ -117,7 +137,13 @@ func (g *Governor) Runs() (*RunStore, error) {
 		return nil, fmt.Errorf("mem: nil governor has no run store")
 	}
 	g.storeOnce.Do(func() {
-		g.store, g.storeErr = NewRunStore("")
+		store, err := NewRunStore("")
+		if store != nil {
+			store.SetCompression(!g.spillRaw.Load())
+		}
+		g.mu.Lock()
+		g.store, g.storeErr = store, err
+		g.mu.Unlock()
 	})
 	return g.store, g.storeErr
 }

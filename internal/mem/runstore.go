@@ -9,22 +9,64 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+
+	"github.com/sitstats/sits/internal/colblk"
 )
 
-// Run-store file format. A run is a sequence of column-major batches of
-// int64 values, written little-endian and checksummed per batch:
+// Run-store file formats. A run is a sequence of column-major batches of
+// int64 values, written little-endian and checksummed per batch. Two formats
+// share the store; readers pick by magic, so a store can read runs written
+// either way:
+//
+// SRN1 (raw):
 //
 //	header:  magic "SRN1" (4 bytes) | ncols uint32
 //	batch:   nrows uint32 | ncols x nrows x int64 (column 0 first) | crc32 uint32
-//	...      (batches repeat; a clean EOF after a whole batch ends the run)
 //
-// The CRC is IEEE crc32 over the batch's nrows header and payload, so a
-// truncated or corrupted spill file is detected at read time instead of
-// silently producing wrong statistics. Row-major payloads (join build rows,
-// sequenced probe/output rows) are stored as single-column runs whose writer
-// appends whole rows, so batch boundaries always align with row boundaries.
+// SRN2 (compressed, the default):
+//
+//	header:  magic "SRN2" (4 bytes) | ncols uint32
+//	batch:   nrows uint32 | blen uint32 | body | crc32 uint32
+//	body:    per column: enc uint8 | plen uint32 | colblk payload (plen bytes)
+//
+// where enc is a colblk encoding picked per column per batch by trial sizing
+// (colblk.Choose), so sorted keys and low-cardinality columns shrink toward
+// 1-2 bytes per value while incompressible payloads stay at raw size plus
+// 5 bytes per column of framing. The CRC is IEEE crc32 over everything in
+// the batch before it (including the nrows/blen heads), so a truncated or
+// bit-flipped spill file is detected at read time instead of silently
+// producing wrong statistics. Row-major payloads (join build rows, sequenced
+// probe/output rows) are stored as single-column runs whose writer appends
+// whole rows, so batch boundaries always align with row boundaries.
 
-const runMagic = "SRN1"
+const (
+	runMagic  = "SRN1"
+	runMagic2 = "SRN2"
+)
+
+// encScratch pools per-batch encode/decode buffers across all writers and
+// readers of the process, so short-lived spill runs (one per grace-join
+// partition, one per sort run) stop allocating a fresh frame buffer each.
+var encScratch = sync.Pool{New: func() any { return new([]byte) }}
+
+// RunStats aggregates a store's spill volume: bytes that actually hit disk
+// versus the raw 8-bytes-per-value size of the same batches. The ratio is
+// the codec's win on the spill path.
+type RunStats struct {
+	// SpilledBytes counts encoded batch bytes written, CRCs included.
+	SpilledBytes int64
+	// RawBytes counts the same batches at 8 bytes per value.
+	RawBytes int64
+}
+
+// Ratio returns SpilledBytes/RawBytes, or 1 when nothing was written.
+func (s RunStats) Ratio() float64 {
+	if s.RawBytes == 0 {
+		return 1
+	}
+	return float64(s.SpilledBytes) / float64(s.RawBytes)
+}
 
 // RunStore hands out spill files inside one temp directory. File names are
 // deterministic — a zero-padded sequence number plus the caller's tag — so a
@@ -33,12 +75,20 @@ const runMagic = "SRN1"
 type RunStore struct {
 	dir string
 
+	// rawOnly disables the SRN2 codec for new runs; the zero value means
+	// compression on. Readers always detect the format by magic.
+	rawOnly atomic.Bool
+
+	written atomic.Int64
+	raw     atomic.Int64
+
 	mu  sync.Mutex
 	seq int
 }
 
 // NewRunStore creates a run store rooted at dir; with dir == "" a fresh
-// temp directory is created under the system temp dir.
+// temp directory is created under the system temp dir. New runs are
+// SRN2-compressed unless SetCompression(false).
 func NewRunStore(dir string) (*RunStore, error) {
 	if dir == "" {
 		d, err := os.MkdirTemp("", "sits-spill-")
@@ -48,6 +98,18 @@ func NewRunStore(dir string) (*RunStore, error) {
 		dir = d
 	}
 	return &RunStore{dir: dir}, nil
+}
+
+// SetCompression switches new runs between SRN2 (on, the default) and raw
+// SRN1 (off). Runs already created keep the format they were opened with.
+func (s *RunStore) SetCompression(on bool) { s.rawOnly.Store(!on) }
+
+// Compressed reports whether new runs use the SRN2 codec.
+func (s *RunStore) Compressed() bool { return !s.rawOnly.Load() }
+
+// Stats returns the store's cumulative spill volume across all runs.
+func (s *RunStore) Stats() RunStats {
+	return RunStats{SpilledBytes: s.written.Load(), RawBytes: s.raw.Load()}
 }
 
 // Dir returns the store's spill directory.
@@ -71,7 +133,8 @@ func (s *RunStore) next(tag string) string {
 }
 
 // Create opens a writer for a new run of ncols columns. tag names the run's
-// role ("sortrun", "build-p3", ...) in its file name.
+// role ("sortrun", "build-p3", ...) in its file name. The run's format (SRN2
+// or raw SRN1) is the store's compression setting at creation time.
 func (s *RunStore) Create(tag string, ncols int) (*RunWriter, error) {
 	if ncols <= 0 {
 		return nil, fmt.Errorf("mem: run needs at least one column, got %d", ncols)
@@ -82,14 +145,18 @@ func (s *RunStore) Create(tag string, ncols int) (*RunWriter, error) {
 		return nil, fmt.Errorf("mem: create run %s: %v", path, err)
 	}
 	w := &RunWriter{
-		run: Run{store: s, path: path, ncols: ncols},
-		f:   f,
-		bw:  bufio.NewWriterSize(f, 1<<16),
+		run:      Run{store: s, path: path, ncols: ncols},
+		f:        f,
+		compress: s.Compressed(),
 	}
 	var hdr [8]byte
-	copy(hdr[:4], runMagic)
+	if w.compress {
+		copy(hdr[:4], runMagic2)
+	} else {
+		copy(hdr[:4], runMagic)
+	}
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(ncols))
-	if _, err := w.bw.Write(hdr[:]); err != nil {
+	if _, err := f.Write(hdr[:]); err != nil {
 		w.abort()
 		return nil, fmt.Errorf("mem: write run header: %v", err)
 	}
@@ -124,11 +191,12 @@ func (r *Run) Remove() error {
 
 // RunWriter streams column batches into a run file.
 type RunWriter struct {
-	run     Run
-	f       *os.File
-	bw      *bufio.Writer
-	scratch []byte
-	err     error
+	run      Run
+	f        *os.File
+	bw       *bufio.Writer
+	compress bool
+	scratch  *[]byte // pooled frame buffer, returned on Finish/abort
+	err      error
 }
 
 // abort closes and removes a half-written run, keeping the first error.
@@ -141,10 +209,34 @@ func (w *RunWriter) abort() {
 	_ = w.f.Close()
 	_ = os.Remove(w.run.path)
 	w.f = nil
+	w.putScratch()
+}
+
+func (w *RunWriter) putScratch() {
+	if w.scratch != nil {
+		encScratch.Put(w.scratch)
+		w.scratch = nil
+	}
+}
+
+// writer returns the buffered writer, created on the first batch with a size
+// derived from that batch's encoded footprint (clamped to [4KiB, 1MiB]) so
+// tiny row-major runs don't carry 64KiB buffers and wide sort runs don't
+// flush every few rows.
+func (w *RunWriter) writer(batchBytes int) *bufio.Writer {
+	if w.bw == nil {
+		size := 1 << 12
+		for size < batchBytes && size < 1<<20 {
+			size <<= 1
+		}
+		w.bw = bufio.NewWriterSize(w.f, size)
+	}
+	return w.bw
 }
 
 // WriteColumns appends one batch: cols must have the run's declared column
-// count, all of equal length. The batch is encoded little-endian and
+// count, all of equal length. The batch is encoded little-endian (SRN2
+// codec frames or raw SRN1, per the store setting at Create) and
 // checksummed; writers own their buffers, so cols may be reused immediately.
 func (w *RunWriter) WriteColumns(cols [][]int64) error {
 	if w.err != nil {
@@ -162,23 +254,21 @@ func (w *RunWriter) WriteColumns(cols [][]int64) error {
 	if n == 0 {
 		return nil
 	}
-	need := 4 + 8*n*w.run.ncols
-	if cap(w.scratch) < need {
-		w.scratch = make([]byte, need)
+	if w.scratch == nil {
+		w.scratch = encScratch.Get().(*[]byte)
 	}
-	buf := w.scratch[:need]
-	binary.LittleEndian.PutUint32(buf, uint32(n))
-	off := 4
-	for _, c := range cols {
-		for _, v := range c {
-			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
-			off += 8
-		}
+	var buf []byte
+	if w.compress {
+		buf = w.encodeFrame((*w.scratch)[:0], cols, n)
+	} else {
+		buf = w.encodeRaw(*w.scratch, cols, n)
 	}
+	*w.scratch = buf[:0]
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(buf))
-	if _, err := w.bw.Write(buf); err == nil {
-		_, w.err = w.bw.Write(tail[:])
+	bw := w.writer(len(buf) + 4)
+	if _, err := bw.Write(buf); err == nil {
+		_, w.err = bw.Write(tail[:])
 	} else {
 		w.err = err
 	}
@@ -187,7 +277,45 @@ func (w *RunWriter) WriteColumns(cols [][]int64) error {
 		return fmt.Errorf("mem: write run %s: %v", w.run.path, w.err)
 	}
 	w.run.rows += int64(n)
+	w.run.store.written.Add(int64(len(buf) + 4))
+	w.run.store.raw.Add(int64(8 * n * w.run.ncols))
 	return nil
+}
+
+// encodeFrame builds an SRN2 batch frame (heads + per-column codec blocks)
+// in buf, excluding the trailing CRC.
+func (w *RunWriter) encodeFrame(buf []byte, cols [][]int64, n int) []byte {
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // nrows, blen back-patched below
+	for _, c := range cols {
+		enc, size := colblk.Choose(c)
+		var ch [5]byte
+		ch[0] = enc
+		binary.LittleEndian.PutUint32(ch[1:], uint32(size))
+		buf = append(buf, ch[:]...)
+		buf = colblk.Append(buf, enc, c)
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(buf)-8))
+	return buf
+}
+
+// encodeRaw builds a raw SRN1 batch (nrows head + 8-byte values) in scratch,
+// excluding the trailing CRC.
+func (w *RunWriter) encodeRaw(scratch []byte, cols [][]int64, n int) []byte {
+	need := 4 + 8*n*w.run.ncols
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	buf := scratch[:need]
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	off := 4
+	for _, c := range cols {
+		for _, v := range c {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+			off += 8
+		}
+	}
+	return buf
 }
 
 // Finish flushes and closes the run file, returning the immutable run
@@ -196,10 +324,13 @@ func (w *RunWriter) Finish() (*Run, error) {
 	if w.err != nil {
 		return nil, w.err
 	}
-	if err := w.bw.Flush(); err != nil {
-		w.err = err
-		w.abort()
-		return nil, fmt.Errorf("mem: flush run %s: %v", w.run.path, err)
+	w.putScratch()
+	if w.bw != nil {
+		if err := w.bw.Flush(); err != nil {
+			w.err = err
+			w.abort()
+			return nil, fmt.Errorf("mem: flush run %s: %v", w.run.path, err)
+		}
 	}
 	if err := w.f.Close(); err != nil {
 		w.err = err
@@ -214,7 +345,9 @@ func (w *RunWriter) Finish() (*Run, error) {
 	return &run, nil
 }
 
-// Open opens the run for sequential reading.
+// Open opens the run for sequential reading. The format is detected from the
+// file's magic, so SRN1 runs written before compression (or with it off)
+// read back through the same API as SRN2 runs.
 func (r *Run) Open() (*RunReader, error) {
 	f, err := os.Open(r.path)
 	if err != nil {
@@ -226,7 +359,11 @@ func (r *Run) Open() (*RunReader, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("mem: read run header %s: %v", r.path, err)
 	}
-	if string(hdr[:4]) != runMagic {
+	switch string(hdr[:4]) {
+	case runMagic:
+	case runMagic2:
+		rd.compressed = true
+	default:
 		_ = f.Close()
 		return nil, fmt.Errorf("mem: run %s: bad magic %q", r.path, hdr[:4])
 	}
@@ -243,17 +380,21 @@ func (r *Run) Open() (*RunReader, error) {
 
 // RunReader streams a run's batches back in write order.
 type RunReader struct {
-	f       *os.File
-	br      *bufio.Reader
-	path    string
-	ncols   int
-	cols    [][]int64
-	scratch []byte
+	f          *os.File
+	br         *bufio.Reader
+	path       string
+	ncols      int
+	compressed bool
+	cols       [][]int64
+	scratch    []byte
 }
 
 // Next returns the next batch's columns, or io.EOF after the last batch. The
 // returned slices are reused by the following Next call.
 func (r *RunReader) Next() ([][]int64, error) {
+	if r.compressed {
+		return r.nextCompressed()
+	}
 	var head [4]byte
 	if _, err := io.ReadFull(r.br, head[:]); err != nil {
 		if err == io.EOF {
@@ -286,6 +427,56 @@ func (r *RunReader) Next() ([][]int64, error) {
 			off += 8
 		}
 		r.cols[c] = col
+	}
+	return r.cols, nil
+}
+
+// nextCompressed reads one SRN2 frame: slurp the whole frame by its declared
+// length, verify the CRC, then decode the per-column codec blocks.
+func (r *RunReader) nextCompressed() ([][]int64, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r.br, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("mem: read run %s: %v", r.path, err)
+	}
+	n := int(binary.LittleEndian.Uint32(head[:]))
+	blen := int(binary.LittleEndian.Uint32(head[4:]))
+	need := blen + 4
+	if cap(r.scratch) < need {
+		r.scratch = make([]byte, need)
+	}
+	buf := r.scratch[:need]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("mem: run %s truncated: %v", r.path, err)
+	}
+	sum := crc32.ChecksumIEEE(head[:])
+	sum = crc32.Update(sum, crc32.IEEETable, buf[:blen])
+	if got := binary.LittleEndian.Uint32(buf[blen:]); got != sum {
+		return nil, fmt.Errorf("mem: run %s: batch checksum mismatch (file %08x, computed %08x)", r.path, got, sum)
+	}
+	body := buf[:blen]
+	off := 0
+	for c := 0; c < r.ncols; c++ {
+		if off+5 > len(body) {
+			return nil, fmt.Errorf("mem: run %s: batch body truncated at column %d", r.path, c)
+		}
+		enc := body[off]
+		plen := int(binary.LittleEndian.Uint32(body[off+1:]))
+		off += 5
+		if plen < 0 || off+plen > len(body) {
+			return nil, fmt.Errorf("mem: run %s: column %d payload overruns batch body", r.path, c)
+		}
+		col, err := colblk.Decode(r.cols[c], enc, body[off:off+plen], n)
+		if err != nil {
+			return nil, fmt.Errorf("mem: run %s: decode column %d: %w", r.path, c, err)
+		}
+		r.cols[c] = col
+		off += plen
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("mem: run %s: %d trailing bytes after last column", r.path, len(body)-off)
 	}
 	return r.cols, nil
 }

@@ -1,6 +1,8 @@
 package sit
 
 import (
+	"fmt"
+
 	"github.com/sitstats/sits/internal/data"
 	"github.com/sitstats/sits/internal/exec"
 	"github.com/sitstats/sits/internal/mem"
@@ -9,13 +11,15 @@ import (
 // This file is the chunked, parallel execution engine behind the Sweep
 // family. The paper's cost argument (Section 4) is that one sequential scan
 // amortizes over many SITs; the engine additionally spreads that scan over
-// the machine: the table is split into fixed-size chunks of column
-// sub-slices (data.Table.ScanChunks), contiguous chunk blocks are assigned to
-// min(parallelism, chunks) fork-join morsels on the shared exec pool, every
-// morsel streams into private consumer shards, and the shards are merged
-// back in deterministic partition order. Per-worker probe scratch is
-// accounted against the builder's memory governor through one pooled grant,
-// so budget Peak reflects the scan's real footprint at high parallelism.
+// the machine: the table's fixed chunk grid is split into contiguous
+// windows, one per fork-join morsel on the shared exec pool; every morsel
+// streams its window through a private data.ChunkReader (zero-copy
+// sub-slices for in-memory tables, on-demand block decode for segment-backed
+// ones) into private consumer shards, and the shards are merged back in
+// deterministic partition order. Per-worker probe scratch and segment decode
+// buffers are accounted against the builder's memory governor through one
+// pooled grant, so budget Peak reflects the scan's real footprint at high
+// parallelism.
 //
 // Determinism contract:
 //
@@ -208,28 +212,37 @@ func runSharedScan(t *data.Table, jobs []*scanJob, parallelism int) error {
 // runSharedScanGov is runSharedScan with the per-worker probe scratch
 // accounted against gov through one pooled grant, released when the scan
 // completes. A nil governor means unlimited.
+//
+// The scan streams the table through data.ChunkReader windows instead of an
+// eager chunk array, so a segment-backed table is never materialized: each
+// worker decodes blocks into its own reader's scratch (accounted on the same
+// pooled grant) as it goes. Chunk Seq numbers come from the table's global
+// chunk grid, so the Seq-ordered merge — and the results — are identical
+// between in-memory and segment-backed tables at every parallelism.
 func runSharedScanGov(t *data.Table, jobs []*scanJob, parallelism int, gov *mem.Governor) error {
 	if len(jobs) == 0 {
 		return nil
 	}
 	cols := resolveColumns(jobs)
-	chunks, err := t.ScanChunks(scanChunkRows, cols...)
-	if err != nil {
-		return err
+	for _, c := range cols {
+		if !t.HasColumn(c) {
+			return fmt.Errorf("sit: table %q has no column %q", t.Name(), c)
+		}
 	}
-	if len(chunks) == 0 {
+	nchunks := t.NumChunks(scanChunkRows)
+	if nchunks == 0 {
 		return nil
 	}
 	grant := gov.Grant("scan-scratch")
 	defer grant.Close()
 	workers := exec.ResolveParallelism(parallelism)
-	if workers > len(chunks) {
-		workers = len(chunks)
+	if workers > nchunks {
+		workers = nchunks
 	}
 	if workers <= 1 {
-		return scanSerial(chunks, jobs, grant)
+		return scanSerial(t, cols, nchunks, jobs, grant)
 	}
-	return scanParallel(chunks, jobs, workers, grant)
+	return scanParallel(t, cols, nchunks, jobs, workers, grant)
 }
 
 // shardReuser is implemented by shard consumers that can be cleared and fed
@@ -243,7 +256,12 @@ type shardReuser interface {
 // consumers receive the rows directly — exactly the original single-threaded
 // behavior — while exact consumers still aggregate per chunk and merge in
 // chunk order, so the serial result matches the parallel one bit for bit.
-func scanSerial(chunks []data.Chunk, jobs []*scanJob, grant *mem.Grant) error {
+func scanSerial(t *data.Table, cols []string, nchunks int, jobs []*scanJob, grant *mem.Grant) error {
+	rd, err := t.OpenChunksSpec(scanChunkRows, data.ScanSpec{Grant: grant}, cols...)
+	if err != nil {
+		return err
+	}
+	defer rd.Close() //statcheck:ignore droppederr read-only reader; scan errors surface from Next
 	dst := make([]consumer, len(jobs))
 	chunked := false
 	for i, j := range jobs {
@@ -256,30 +274,45 @@ func scanSerial(chunks []data.Chunk, jobs []*scanJob, grant *mem.Grant) error {
 	// With a single chunk the chunk-order fold degenerates: merging one
 	// partial into an empty root adds 0 + x per value, which is bit-identical
 	// to accumulating in the root directly, so skip the scratch shards.
-	if !chunked || len(chunks) == 1 {
-		for ci := range chunks {
-			feedChunk(chunks[ci], jobs, dst, &scratch)
+	if !chunked || nchunks == 1 {
+		for {
+			ch, ok, err := rd.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			feedChunk(ch, jobs, dst, &scratch)
 		}
-		return nil
 	}
-	for ci := range chunks {
+	first := true
+	for {
+		ch, ok, err := rd.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		for i, j := range jobs {
 			if !j.cons.perChunk() {
 				continue
 			}
-			if ci > 0 {
+			if !first {
 				if r, ok := dst[i].(shardReuser); ok {
 					r.resetShard()
 					continue
 				}
 			}
-			shard, err := j.cons.fork(ci)
+			shard, err := j.cons.fork(ch.Seq)
 			if err != nil {
 				return err
 			}
 			dst[i] = shard
 		}
-		feedChunk(chunks[ci], jobs, dst, &scratch)
+		first = false
+		feedChunk(ch, jobs, dst, &scratch)
 		for i, j := range jobs {
 			if !j.cons.perChunk() {
 				continue
@@ -289,28 +322,37 @@ func scanSerial(chunks []data.Chunk, jobs []*scanJob, grant *mem.Grant) error {
 			}
 		}
 	}
-	return nil
 }
 
-// scanParallel partitions the chunk sequence into contiguous blocks, one per
-// worker, scans the blocks as fork-join morsels on the shared exec pool into
-// private consumer shards, and merges the shards back in partition order
-// (chunk Seq order for per-chunk consumers, worker order otherwise). Block
-// boundaries depend only on (chunks, workers), so the merge order — and for
-// exact consumers the result itself — is independent of pool scheduling.
-func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int, grant *mem.Grant) error {
+// scanParallel partitions the chunk grid into contiguous windows, one per
+// worker, streams each window through a private ChunkReader as a fork-join
+// morsel on the shared exec pool into private consumer shards, and merges
+// the shards back in partition order (chunk Seq order for per-chunk
+// consumers, worker order otherwise). Window boundaries depend only on
+// (nchunks, workers), so the merge order — and for exact consumers the
+// result itself — is independent of pool scheduling.
+func scanParallel(t *data.Table, cols []string, nchunks int, jobs []*scanJob, workers int, grant *mem.Grant) error {
 	chunkShards := make([][]consumer, len(jobs))
 	workerShards := make([][]consumer, len(jobs))
 	for ji, j := range jobs {
 		if j.cons.perChunk() {
-			chunkShards[ji] = make([]consumer, len(chunks))
+			chunkShards[ji] = make([]consumer, nchunks)
 		} else {
 			workerShards[ji] = make([]consumer, workers)
 		}
 	}
 	errs := make([]error, workers)
 	exec.Default().ForkJoinWidth(workers, workers, func(w int) {
-		lo, hi := w*len(chunks)/workers, (w+1)*len(chunks)/workers
+		lo, hi := w*nchunks/workers, (w+1)*nchunks/workers
+		if lo == hi {
+			return
+		}
+		rd, err := t.OpenChunksSpec(scanChunkRows, data.ScanSpec{Grant: grant, Lo: lo, Hi: hi}, cols...)
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		defer rd.Close() //statcheck:ignore droppederr read-only reader; scan errors surface from Next
 		dst := make([]consumer, len(jobs))
 		scratch := probeScratch{grant: grant}
 		for ji, j := range jobs {
@@ -325,20 +367,28 @@ func scanParallel(chunks []data.Chunk, jobs []*scanJob, workers int, grant *mem.
 			workerShards[ji][w] = shard
 			dst[ji] = shard
 		}
-		for ci := lo; ci < hi; ci++ {
+		for {
+			ch, ok, err := rd.Next()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if !ok {
+				return
+			}
 			for ji, j := range jobs {
 				if !j.cons.perChunk() {
 					continue
 				}
-				shard, err := j.cons.fork(chunks[ci].Seq)
+				shard, err := j.cons.fork(ch.Seq)
 				if err != nil {
 					errs[w] = err
 					return
 				}
-				chunkShards[ji][chunks[ci].Seq] = shard
+				chunkShards[ji][ch.Seq] = shard
 				dst[ji] = shard
 			}
-			feedChunk(chunks[ci], jobs, dst, &scratch)
+			feedChunk(ch, jobs, dst, &scratch)
 		}
 	})
 	for _, err := range errs {

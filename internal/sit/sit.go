@@ -142,17 +142,23 @@ type Config struct {
 	// bit-identical at any budget. Spill files live in a temp directory owned
 	// by the builder and are removed by Close.
 	MemBudget int64
+	// SpillCompress encodes spill runs with the SRN2 block codec instead of
+	// raw SRN1 (DefaultConfig turns it on). Spilled operators read either
+	// format transparently; the flag only affects runs written by this
+	// builder. Results are bit-identical either way.
+	SpillCompress bool
 }
 
 // DefaultConfig returns the paper's experimental defaults.
 func DefaultConfig() Config {
 	return Config{
-		Buckets:    100,
-		HistMethod: histogram.MaxDiffArea,
-		SampleRate: 0.10,
-		MinSample:  100,
-		Seed:       1,
-		Slices2D:   16,
+		Buckets:       100,
+		HistMethod:    histogram.MaxDiffArea,
+		SampleRate:    0.10,
+		MinSample:     100,
+		Seed:          1,
+		Slices2D:      16,
+		SpillCompress: true,
 	}
 }
 
@@ -214,6 +220,7 @@ func NewBuilder(cat *data.Catalog, cfg Config) (*Builder, error) {
 	}
 	if cfg.MemBudget > 0 {
 		b.gov = mem.NewGovernor(cfg.MemBudget)
+		b.gov.SetSpillCompression(cfg.SpillCompress)
 	}
 	return b, nil
 }

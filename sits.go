@@ -58,6 +58,31 @@ func ReadCSVFile(name, path string) (*Table, error) { return data.ReadCSVFile(na
 // WriteCSVFile writes a table as CSV.
 func WriteCSVFile(t *Table, path string) error { return data.WriteCSVFile(t, path) }
 
+// --- Out-of-core segments ---
+
+// Segment is a read-only handle on a block-compressed columnar segment file.
+type Segment = data.Segment
+
+// SegmentWriter streams rows into a segment file, one row group at a time.
+type SegmentWriter = data.SegmentWriter
+
+// CreateSegment opens a segment writer at path for a table with the given
+// name and columns.
+func CreateSegment(path, name string, columns []string) (*SegmentWriter, error) {
+	return data.CreateSegment(path, name, columns)
+}
+
+// WriteSegment writes an in-memory table to a segment file at path.
+func WriteSegment(path string, t *Table) error { return data.WriteSegment(path, t) }
+
+// OpenSegment opens a segment file, reading only its footer.
+func OpenSegment(path string) (*Segment, error) { return data.OpenSegment(path) }
+
+// OpenSegmentTable opens a segment file as a read-only table whose scans
+// stream blocks off disk instead of materializing columns; see
+// data.OpenSegmentTable.
+func OpenSegmentTable(path string) (*Table, error) { return data.OpenSegmentTable(path) }
+
 // --- Synthetic data ---
 
 // ChainConfig parameterizes the paper's chain-join evaluation database.
