@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -224,30 +223,11 @@ func parseMethod(name string) (sits.Method, error) {
 	}
 }
 
+// loadCatalog loads the query's tables through the shared -csv/-segments
+// path, or generates the synthetic chain database when neither is given.
 func loadCatalog(csvDir, segDir string, expr *sits.Expr) (*sits.Catalog, error) {
-	if csvDir != "" && segDir != "" {
-		return nil, fmt.Errorf("-csv and -segments are mutually exclusive")
-	}
 	if csvDir == "" && segDir == "" {
 		return sits.GenerateChainDB(sits.DefaultChainConfig())
 	}
-	cat := sits.NewCatalog()
-	for _, name := range expr.Tables() {
-		var (
-			t   *sits.Table
-			err error
-		)
-		if segDir != "" {
-			t, err = sits.OpenSegmentTable(filepath.Join(segDir, name+".seg"))
-		} else {
-			t, err = sits.ReadCSVFile(name, filepath.Join(csvDir, name+".csv"))
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := cat.Add(t); err != nil {
-			return nil, err
-		}
-	}
-	return cat, nil
+	return sits.LoadCatalog(csvDir, segDir, expr.Tables())
 }

@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
@@ -151,29 +150,8 @@ func parseMethod(name string) (sits.Method, error) {
 // -segments, loaded from CSV files with -csv — or generates the synthetic
 // chain database when neither directory is given.
 func loadCatalog(csvDir, segDir string, spec sits.SITSpec) (*sits.Catalog, error) {
-	if csvDir != "" && segDir != "" {
-		return nil, fmt.Errorf("-csv and -segments are mutually exclusive")
-	}
 	if csvDir == "" && segDir == "" {
 		return sits.GenerateChainDB(sits.DefaultChainConfig())
 	}
-	cat := sits.NewCatalog()
-	for _, name := range spec.Expr.Tables() {
-		var (
-			t   *sits.Table
-			err error
-		)
-		if segDir != "" {
-			t, err = sits.OpenSegmentTable(filepath.Join(segDir, name+".seg"))
-		} else {
-			t, err = sits.ReadCSVFile(name, filepath.Join(csvDir, name+".csv"))
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := cat.Add(t); err != nil {
-			return nil, err
-		}
-	}
-	return cat, nil
+	return sits.LoadCatalog(csvDir, segDir, spec.Expr.Tables())
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGenRequestDeterministicAndQuantized(t *testing.T) {
+	templates := chainTemplates(2000)
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		ra := genRequest(a, "http://x", templates, 250)
+		rb := genRequest(b, "http://x", templates, 250)
+		if ra != rb {
+			t.Fatalf("request %d diverges under one seed:\n%s\n%s", i, ra, rb)
+		}
+		if !strings.Contains(ra, "/estimate?") || !strings.Contains(ra, "query=") {
+			t.Fatalf("malformed request %s", ra)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if p := percentile(vals, 50); p != 3 {
+		t.Fatalf("p50 = %v, want 3", p)
+	}
+	if p := percentile(vals, 99); p != 5 {
+		t.Fatalf("p99 = %v, want 5", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("empty p50 = %v, want 0", p)
+	}
+	if vals[0] != 5 {
+		t.Fatal("percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := []sample{
+		{ms: 1, serverUS: 4, cached: true},
+		{ms: 2, serverUS: 6, cached: true},
+		{ms: 10, serverUS: 100},
+		{err: http.ErrHandlerTimeout},
+	}
+	res := summarize(samples, 2, time.Second)
+	if res.Errors != 1 || res.Requests != 4 {
+		t.Fatalf("summary %+v", res)
+	}
+	if res.HitRatio != 2.0/3.0 {
+		t.Fatalf("hit ratio %v, want 2/3", res.HitRatio)
+	}
+	if res.MissP50MS != 10 || res.HitP99MS != 2 {
+		t.Fatalf("percentiles %+v", res)
+	}
+	if res.HitComputeP50US != 4 || res.MissComputeP50US != 100 {
+		t.Fatalf("compute percentiles %+v", res)
+	}
+	if res.ComputeSpeedup != 25 {
+		t.Fatalf("compute speedup %v, want 25", res.ComputeSpeedup)
+	}
+}
+
+// TestRunAgainstStub drives the full generator loop against a stub daemon,
+// including the -json artifact.
+func TestRunAgainstStub(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.RawQuery
+		mu.Lock()
+		cached := seen[key]
+		seen[key] = true
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if cached {
+			_, _ = w.Write([]byte(`{"cardinality": 1, "cached": true, "estimate_us": 2}`))
+		} else {
+			_, _ = w.Write([]byte(`{"cardinality": 1, "cached": false, "estimate_us": 100}`))
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(srv.URL, 300, 50, 1, 2000, 500, out, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/sitstats/sits"
+)
+
+// now times the serving path so clients can see the cache's compute saving
+// without HTTP round-trip noise. Wall-clock timing columns are inherently
+// nondeterministic and never part of a seed-deterministic result.
+var now = time.Now //statcheck:ignore rawrand serving-latency timing column, not part of the result
+
+// server wires one serving layer behind the HTTP API:
+//
+//	GET/POST /estimate  — answer one SPJ estimation request
+//	GET      /stats     — cache + registry counters
+//	POST     /refresh   — run one staleness sweep now
+//	GET      /healthz   — liveness probe
+type server struct {
+	svc       *sits.Service
+	threshold float64 // staleness threshold for POST /refresh
+}
+
+func newServer(svc *sits.Service, threshold float64) http.Handler {
+	s := &server{svc: svc, threshold: threshold}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/refresh", s.handleRefresh)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// estimateRequest is the POST body form of an estimation request. The GET
+// form carries the same fields as ?query=...&pred=T.a:lo:hi[,...].
+type estimateRequest struct {
+	Query string     `json:"query"`
+	Preds []predBody `json:"preds,omitempty"`
+}
+
+type predBody struct {
+	Table string `json:"table"`
+	Attr  string `json:"attr"`
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+}
+
+// estimateResponse mirrors sits.Estimate with provenance flattened for
+// clients, plus whether the answer came from the estimate cache.
+type estimateResponse struct {
+	Cardinality float64          `json:"cardinality"`
+	JoinCard    float64          `json:"join_cardinality"`
+	JoinStat    string           `json:"join_stat"`
+	Sources     []sourceResponse `json:"sources,omitempty"`
+	Cached      bool             `json:"cached"`
+	// EstimateUS is the server-side time spent answering (microseconds):
+	// a cache probe for hits, the full estimation for misses.
+	EstimateUS float64 `json:"estimate_us"`
+}
+
+type sourceResponse struct {
+	Pred        string  `json:"pred"`
+	Stat        string  `json:"stat"`
+	Tables      int     `json:"tables"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("query")
+		preds, err := parsePreds(r.URL.Query().Get("pred"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, p := range preds {
+			req.Preds = append(req.Preds, predBody{Table: p.Table, Attr: p.Attr, Lo: p.Lo, Hi: p.Hi})
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	expr, err := sits.ParseExpr(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := sits.SPJQuery{Expr: expr}
+	for _, p := range req.Preds {
+		q.Preds = append(q.Preds, sits.Predicate{Table: p.Table, Attr: p.Attr, Lo: p.Lo, Hi: p.Hi})
+	}
+	t0 := now()
+	est, cached, err := s.svc.Estimate(q)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := estimateResponse{
+		Cardinality: est.Cardinality,
+		JoinCard:    est.JoinCard,
+		JoinStat:    est.JoinStat,
+		Cached:      cached,
+		EstimateUS:  float64(now().Sub(t0)) / float64(time.Microsecond),
+	}
+	for _, src := range est.Sources {
+		resp.Sources = append(resp.Sources, sourceResponse{
+			Pred:        src.Pred.String(),
+			Stat:        src.Stat,
+			Tables:      src.Tables,
+			Selectivity: src.Selectivity,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+type refreshResponse struct {
+	Rebuilt []string `json:"rebuilt"`
+	Epoch   uint64   `json:"epoch"`
+}
+
+func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	rebuilt, err := s.svc.Registry().Refresh(s.threshold)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if rebuilt == nil {
+		rebuilt = []string{}
+	}
+	writeJSON(w, http.StatusOK, refreshResponse{Rebuilt: rebuilt, Epoch: s.svc.Registry().Epoch()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// A failed liveness write means the client is gone; nothing to do.
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// writeJSON sends v as a JSON response. Encoding errors past the header are
+// undeliverable (the status is already on the wire), so they are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// parsePreds parses the CLI/query-string predicate form
+// "T.a:lo:hi[,T.b:lo:hi...]".
+func parsePreds(s string) ([]sits.Predicate, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []sits.Predicate
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad predicate %q (want T.a:lo:hi)", part)
+		}
+		ta := strings.Split(fields[0], ".")
+		if len(ta) != 2 || ta[0] == "" || ta[1] == "" {
+			return nil, fmt.Errorf("bad predicate attribute %q", fields[0])
+		}
+		lo, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad predicate bound %q: %v", fields[1], err)
+		}
+		hi, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad predicate bound %q: %v", fields[2], err)
+		}
+		out = append(out, sits.Predicate{Table: ta[0], Attr: ta[1], Lo: lo, Hi: hi})
+	}
+	return out, nil
+}

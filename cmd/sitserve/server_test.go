@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/sitstats/sits"
+)
+
+func newTestServer(t *testing.T) (http.Handler, *sits.Catalog) {
+	t.Helper()
+	cat, err := sits.GenerateChainDB(sits.DefaultChainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := sits.NewRegistry(cat, sits.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := reg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	spec, err := sits.ParseSIT("T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(spec, sits.SweepFull); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := sits.NewService(reg, sits.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(svc, 0.2), cat
+}
+
+func getJSON(t *testing.T, h http.Handler, method, target, body string, wantStatus int, out any) {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, target, nil)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != wantStatus {
+		t.Fatalf("%s %s: status %d (body %s), want %d", method, target, rr.Code, rr.Body.String(), wantStatus)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, target, rr.Body.String(), err)
+		}
+	}
+}
+
+func estimateURL(preds string) string {
+	v := url.Values{"query": {"T1 JOIN T2 ON T1.jnext = T2.jprev"}}
+	if preds != "" {
+		v.Set("pred", preds)
+	}
+	return "/estimate?" + v.Encode()
+}
+
+func TestServerEstimate(t *testing.T) {
+	h, _ := newTestServer(t)
+
+	var first, second, posted estimateResponse
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:0:900"), "", http.StatusOK, &first)
+	if first.Cardinality <= 0 {
+		t.Fatalf("cardinality %v, want > 0", first.Cardinality)
+	}
+	if first.Cached {
+		t.Fatal("cold request reported cached")
+	}
+	if len(first.Sources) != 1 || !strings.Contains(first.Sources[0].Stat, "SIT") {
+		t.Fatalf("sources %+v, want one SIT-backed predicate", first.Sources)
+	}
+
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:0:900"), "", http.StatusOK, &second)
+	if !second.Cached {
+		t.Fatal("repeat request missed the cache")
+	}
+	if second.Cardinality != first.Cardinality || second.JoinCard != first.JoinCard {
+		t.Fatalf("cached answer differs: %+v vs %+v", second, first)
+	}
+
+	// The POST body form answers identically and shares the cache entry.
+	body := `{"query": "T1 JOIN T2 ON T1.jnext = T2.jprev", "preds": [{"table":"T2","attr":"a","lo":0,"hi":900}]}`
+	getJSON(t, h, http.MethodPost, "/estimate", body, http.StatusOK, &posted)
+	if !posted.Cached || posted.Cardinality != first.Cardinality {
+		t.Fatalf("POST form diverges from GET: %+v vs %+v", posted, first)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	h, _ := newTestServer(t)
+	getJSON(t, h, http.MethodGet, "/estimate", "", http.StatusBadRequest, nil)
+	getJSON(t, h, http.MethodGet, "/estimate?query=not+a+join", "", http.StatusBadRequest, nil)
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:bad:0"), "", http.StatusBadRequest, nil)
+	getJSON(t, h, http.MethodGet, estimateURL("T9.a:0:1"), "", http.StatusUnprocessableEntity, nil)
+	getJSON(t, h, http.MethodDelete, "/estimate", "", http.StatusMethodNotAllowed, nil)
+	getJSON(t, h, http.MethodPost, "/stats", "", http.StatusMethodNotAllowed, nil)
+	getJSON(t, h, http.MethodGet, "/refresh", "", http.StatusMethodNotAllowed, nil)
+}
+
+func TestServerStatsAndRefresh(t *testing.T) {
+	h, cat := newTestServer(t)
+
+	var est estimateResponse
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:0:500"), "", http.StatusOK, &est)
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:0:500"), "", http.StatusOK, &est)
+
+	var stats sits.ServeStats
+	getJSON(t, h, http.MethodGet, "/stats", "", http.StatusOK, &stats)
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss", stats)
+	}
+	epoch := stats.Registry.Epoch
+
+	// A no-op sweep first, then growth past the threshold forces a rebuild.
+	var ref refreshResponse
+	getJSON(t, h, http.MethodPost, "/refresh", "", http.StatusOK, &ref)
+	if len(ref.Rebuilt) != 0 || ref.Epoch != epoch {
+		t.Fatalf("fresh sweep rebuilt %v at epoch %d", ref.Rebuilt, ref.Epoch)
+	}
+	t1 := cat.MustTable("T1")
+	row, err := t1.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := 0, t1.NumRows()/2; i < n; i++ {
+		if err := t1.AppendRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getJSON(t, h, http.MethodPost, "/refresh", "", http.StatusOK, &ref)
+	if len(ref.Rebuilt) != 1 || ref.Epoch != epoch+1 {
+		t.Fatalf("sweep after growth: rebuilt %v epoch %d, want 1 spec at epoch %d", ref.Rebuilt, ref.Epoch, epoch+1)
+	}
+
+	// The rebuilt SIT strands the old cache entry: next request recomputes.
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:0:500"), "", http.StatusOK, &est)
+	if est.Cached {
+		t.Fatal("post-refresh request served the stale cache entry")
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() != "ok\n" {
+		t.Fatalf("healthz: %d %q", rr.Code, rr.Body.String())
+	}
+}

@@ -152,9 +152,19 @@ func (e *Estimator) Estimate(q SPJQuery) (Estimate, error) {
 // selectivity finds the most specific statistic for the predicate.
 func (e *Estimator) selectivity(q SPJQuery, p Predicate) (PredSource, error) {
 	qPreds := predSet(q.Expr)
+	// Candidate expressions are scanned in sorted canonical order so that a
+	// tie on specificity (two applicable SITs over the same number of tables)
+	// always resolves to the same statistic: repeated Estimate calls — and a
+	// serving cache comparing hits against recomputation — see bit-identical
+	// results regardless of map iteration order.
+	keys := make([]string, 0, len(e.sits))
+	for k := range e.sits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var best *sit.SIT
-	for _, list := range e.sits {
-		for _, s := range list {
+	for _, k := range keys {
+		for _, s := range e.sits[k] {
 			if s.Spec.Table != p.Table || s.Spec.Attr != p.Attr {
 				continue
 			}

@@ -1,0 +1,78 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadCatalog loads a catalog from a directory of table files: <name>.csv
+// files under csvDir, or SEG1 segment files <name>.seg under segDir (which
+// back read-only tables that stream off disk block by block). Exactly one of
+// the two directories may be non-empty.
+//
+// tables selects which tables to load; a nil or empty list discovers every
+// table file in the directory. This is the one catalog-loading path shared by
+// the CLIs (sitcreate, estimate, sitserve) — the -csv/-segments flag handling
+// they previously each reimplemented.
+func LoadCatalog(csvDir, segDir string, tables []string) (*Catalog, error) {
+	if csvDir != "" && segDir != "" {
+		return nil, fmt.Errorf("data: -csv and -segments are mutually exclusive")
+	}
+	dir, ext := csvDir, ".csv"
+	if segDir != "" {
+		dir, ext = segDir, ".seg"
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("data: LoadCatalog needs a csv or segment directory")
+	}
+	if len(tables) == 0 {
+		var err error
+		tables, err = discoverTables(dir, ext)
+		if err != nil {
+			return nil, err
+		}
+		if len(tables) == 0 {
+			return nil, fmt.Errorf("data: no %s table files in %s", ext, dir)
+		}
+	}
+	cat := NewCatalog()
+	for _, name := range tables {
+		var (
+			t   *Table
+			err error
+		)
+		if segDir != "" {
+			t, err = OpenSegmentTable(filepath.Join(dir, name+ext))
+		} else {
+			t, err = ReadCSVFile(name, filepath.Join(dir, name+ext))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// discoverTables lists the table names (file base names) with the given
+// extension in dir, sorted for deterministic catalog construction.
+func discoverTables(dir, ext string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("data: reading table directory: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ext) {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(e.Name(), ext))
+	}
+	sort.Strings(names)
+	return names, nil
+}

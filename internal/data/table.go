@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Column is a single named attribute of a table, stored contiguously.
@@ -32,10 +33,14 @@ type Table struct {
 	byName map[string]int
 	// gen counts mutations (appends, column replacement, and capacity growth,
 	// which may reallocate the backing arrays). Caches that retain derived
-	// state keyed on a table — sorted runs, join intermediates — record the
-	// generation they were built against and must assert it still matches
-	// before serving, so a mutated table can never satisfy a stale lookup.
-	gen uint64
+	// state keyed on a table — sorted runs, join intermediates, served
+	// estimates — record the generation they were built against and must
+	// assert it still matches before serving, so a mutated table can never
+	// satisfy a stale lookup. The counter is atomic so concurrent cache
+	// lookups can read it while a writer appends; the column data itself is
+	// not synchronized — concurrent mutation and scanning still needs
+	// external coordination.
+	gen atomic.Uint64
 
 	// seg backs a read-only, segment-backed table (OpenSegmentTable): scans
 	// stream blocks off disk and full columns materialize lazily under segMu
@@ -91,7 +96,7 @@ func (t *Table) Name() string { return t.name }
 // (AppendRow, Grow, AppendColumns, AppendBatch, SetColumn). Any cache keyed
 // on a table must capture the generation at build time and compare it on
 // lookup; a mismatch means the cached state is stale.
-func (t *Table) Generation() uint64 { return t.gen }
+func (t *Table) Generation() uint64 { return t.gen.Load() }
 
 // NumRows returns the number of rows in the table.
 func (t *Table) NumRows() int {
@@ -194,7 +199,7 @@ func (t *Table) AppendRow(vals ...int64) error {
 	for i, v := range vals {
 		t.cols[i].Vals = append(t.cols[i].Vals, v)
 	}
-	t.gen++
+	t.gen.Add(1)
 	return nil
 }
 
@@ -210,7 +215,7 @@ func (t *Table) Grow(n int) {
 	}
 	// Growth may reallocate the backing arrays, so slices handed out before
 	// Grow can go stale; that is a mutation as far as caches are concerned.
-	t.gen++
+	t.gen.Add(1)
 	for i := range t.cols {
 		vals := t.cols[i].Vals
 		if cap(vals)-len(vals) >= n {
@@ -247,7 +252,7 @@ func (t *Table) AppendColumns(vals ...[]int64) error {
 	for i, v := range vals {
 		t.cols[i].Vals = append(t.cols[i].Vals, v...)
 	}
-	t.gen++
+	t.gen.Add(1)
 	return nil
 }
 
@@ -270,7 +275,7 @@ func (t *Table) SetColumn(name string, vals []int64) error {
 		return fmt.Errorf("data: table %q has no column %q", t.name, name)
 	}
 	t.cols[i].Vals = vals
-	t.gen++
+	t.gen.Add(1)
 	return nil
 }
 

@@ -1,0 +1,126 @@
+package exec
+
+// This file is the plan-close protocol. Operator trees reserve governed
+// memory (hash-join arenas, sort buffers, the pipeline's reorder window) and
+// create spill runs as they execute, and historically nothing released those
+// at end of stream: the Builder owned its Governor outright, so tearing the
+// governor down reclaimed everything wholesale. A governor shared across
+// concurrent builders (Config.Governor) outlives any one plan, so a drained
+// plan that keeps its reservations leaks budget forever. ClosePlan walks the
+// tree and returns every grant and spill run a plan still holds.
+
+// PlanCloser is implemented by operators that hold governed resources or
+// wrap children that might. ClosePlan releases this operator's reservations
+// and spill runs and recursively closes its inputs.
+type PlanCloser interface{ ClosePlan() }
+
+// ClosePlan releases the governed memory reservations and spill runs held
+// anywhere in an operator tree, recursing through wrapper operators. It is
+// safe on any operator (those without governed state are no-ops) and on
+// partially-drained plans. The tree must not be used after ClosePlan —
+// retained results (materialized tables, drained values) are unaffected.
+func ClosePlan(op any) {
+	if c, ok := op.(PlanCloser); ok {
+		c.ClosePlan()
+	}
+}
+
+// ClosePlan releases the hash-join build arena's reservation and, when the
+// join spilled, its grace-mode output runs, then closes both inputs. Probe
+// clones (ProbeClone) share the original's hash table and hold no grant of
+// their own; closing the original covers them.
+func (j *VecHashJoin) ClosePlan() {
+	if j.grace != nil {
+		j.grace.close()
+		j.grace = nil
+	}
+	j.jt = nil
+	j.grant.Close()
+	ClosePlan(j.left)
+	ClosePlan(j.right)
+}
+
+// close abandons the grace join's spill state: open merge cursors, any
+// partition runs still being written (a partially-drained plan), and the
+// retained output runs that back Reset replays.
+func (g *graceJoin) close() {
+	for _, c := range g.cursors {
+		if !c.done {
+			if err := c.rd.Close(); err != nil {
+				spillFail("close output run", err)
+			}
+		}
+	}
+	g.cursors, g.lt = nil, nil
+	for _, w := range g.buildW {
+		g.abandon(w)
+	}
+	for _, w := range g.probeW {
+		g.abandon(w)
+	}
+	g.buildW, g.probeW = nil, nil
+	g.removeRuns(g.outRuns...)
+	g.outRuns = nil
+}
+
+// abandon finalizes a half-written partition run and removes it.
+func (g *graceJoin) abandon(w *spillRun) {
+	if w == nil {
+		return
+	}
+	g.removeRuns(w.finish())
+}
+
+// ClosePlan releases the sort's buffer/permutation/sorted-copy reservations
+// and removes its spilled runs, then closes the input. Outstanding async
+// spill tasks are driven to completion first so no task writes to a removed
+// store entry.
+func (s *BatchSort) ClosePlan() {
+	s.waitSpills()
+	for _, c := range s.cursors {
+		if !c.done {
+			if err := c.rd.Close(); err != nil {
+				spillFail("close sorted run", err)
+			}
+		}
+	}
+	s.cursors, s.lt = nil, nil
+	for _, r := range s.runs {
+		if r == nil {
+			continue
+		}
+		if err := r.Remove(); err != nil {
+			spillFail("remove sorted run", err)
+		}
+	}
+	s.runs = nil
+	s.cols, s.bufCols, s.perm = nil, nil, nil
+	s.sorted = true // a closed sort must not re-drain its closed input
+	s.n, s.pos = 0, 0
+	s.grant.Close()
+	ClosePlan(s.in)
+}
+
+// ClosePlan quiesces the morsel helpers (releasing the reorder window's
+// reservations via Reset), closes the pipeline's grant, and closes the
+// serial chain — the original operators the per-morsel stages were cloned
+// from, which hold the shared hash-table grants.
+func (pl *Pipeline) ClosePlan() {
+	pl.Reset()
+	pl.grant.Close()
+	ClosePlan(pl.serial)
+}
+
+// The remaining operators hold no governed state of their own; they only
+// forward the close to their children.
+
+func (f *BatchFilter) ClosePlan()  { ClosePlan(f.in) }
+func (p *BatchProject) ClosePlan() { ClosePlan(p.in) }
+func (r *Rows) ClosePlan()         { ClosePlan(r.in) }
+func (b *Batches) ClosePlan()      { ClosePlan(b.in) }
+func (f *Filter) ClosePlan()       { ClosePlan(f.in) }
+func (p *Project) ClosePlan()      { ClosePlan(p.in) }
+func (j *BatchMergeJoin) ClosePlan() {
+	ClosePlan(j.left)
+	ClosePlan(j.right)
+}

@@ -226,6 +226,7 @@ func AttrValuesOpts(cat *data.Catalog, e *query.Expr, table, attr string, opts O
 	if err != nil {
 		return nil, err
 	}
+	defer ClosePlan(op)
 	idx, err := columnIndex(op.Columns(), table+"."+attr)
 	if err != nil {
 		return nil, err
@@ -259,6 +260,7 @@ func CardinalityOpts(cat *data.Catalog, e *query.Expr, opts Options) (int64, err
 	if err != nil {
 		return 0, err
 	}
+	defer ClosePlan(op)
 	var n int64
 	for {
 		b, ok := op.NextBatch()
@@ -282,6 +284,7 @@ func RangeCardinalityOpts(cat *data.Catalog, e *query.Expr, table, attr string, 
 	if err != nil {
 		return 0, err
 	}
+	defer ClosePlan(op)
 	idx, err := columnIndex(op.Columns(), table+"."+attr)
 	if err != nil {
 		return 0, err

@@ -23,21 +23,26 @@ import (
 	"sync/atomic"
 )
 
-// Governor owns one byte budget shared by every operator of an engine run
-// ("one budget across the engine"). Operators obtain per-operator Grants and
-// reserve/release bytes through them; the Governor tracks the total and the
-// high-water mark. A budget of 0 means unlimited: every reservation is
-// admitted and nothing ever spills.
+// Governor owns one byte budget shared by every operator of an engine run —
+// and, since the engine became a long-lived service, by every concurrent
+// Builder of the process ("one budget across the engine"). Operators obtain
+// per-operator Grants and reserve/release bytes through them; the Governor
+// tracks the total and the high-water mark. A budget of 0 means unlimited:
+// every reservation is admitted and nothing ever spills.
+//
+// The ledger is lock-free: used and peak are atomics updated by CAS loops,
+// so thousands of concurrent requests admitting and releasing scratch do not
+// serialize on a mutex. The mutex only guards the lazily created run store.
 type Governor struct {
-	mu     sync.Mutex
-	budget int64
-	used   int64
-	peak   int64
+	budget int64 // immutable after construction
+	used   atomic.Int64
+	peak   atomic.Int64
 
 	// spillRaw disables SRN2 spill compression for the governor's run
 	// store; the zero value means compression on.
 	spillRaw atomic.Bool
 
+	mu        sync.Mutex // guards store/storeErr
 	store     *RunStore
 	storeErr  error
 	storeOnce sync.Once
@@ -84,9 +89,7 @@ func (g *Governor) Used() int64 {
 	if g == nil {
 		return 0
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.used
+	return g.used.Load()
 }
 
 // Peak returns the high-water mark of reserved bytes over the governor's
@@ -95,38 +98,53 @@ func (g *Governor) Peak() int64 {
 	if g == nil {
 		return 0
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.peak
+	return g.peak.Load()
 }
 
 // reserve attempts to admit n bytes. force admits even past the budget (for
-// bounded operator scratch that has no spill alternative).
+// bounded operator scratch that has no spill alternative). The admission
+// check and the ledger update are one CAS, so concurrent reservations can
+// never jointly overshoot the budget.
 func (g *Governor) reserve(n int64, force bool) bool {
 	if g == nil || n <= 0 {
 		return true
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !force && g.budget > 0 && g.used+n > g.budget {
-		return false
+	for {
+		u := g.used.Load()
+		if !force && g.budget > 0 && u+n > g.budget {
+			return false
+		}
+		if g.used.CompareAndSwap(u, u+n) {
+			g.bumpPeak(u + n)
+			return true
+		}
 	}
-	g.used += n
-	if g.used > g.peak {
-		g.peak = g.used
+}
+
+// bumpPeak raises the high-water mark to at least v. Peak is monotone, so a
+// lost CAS race against a larger concurrent value needs no retry.
+func (g *Governor) bumpPeak(v int64) {
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
 	}
-	return true
 }
 
 func (g *Governor) release(n int64) {
 	if g == nil || n <= 0 {
 		return
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.used -= n
-	if g.used < 0 {
-		g.used = 0
+	for {
+		u := g.used.Load()
+		m := n
+		if m > u {
+			m = u // clamp: never drive the ledger negative
+		}
+		if m == 0 || g.used.CompareAndSwap(u, u-m) {
+			return
+		}
 	}
 }
 

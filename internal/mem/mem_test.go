@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -487,4 +488,68 @@ func TestGovernorSpillCompressionToggle(t *testing.T) {
 	}
 	var nilGov *Governor
 	nilGov.SetSpillCompression(false) // must not panic
+}
+
+// TestGovernorConcurrentGrants hammers one shared Governor from many
+// goroutines — the ledger workload N concurrent Builders produce — and
+// asserts the lock-free accounting stays exact: no reservation is admitted
+// past the budget, Peak never exceeds it, and once every grant closes the
+// ledger reads zero. Run under -race this is the shared-governor safety test.
+func TestGovernorConcurrentGrants(t *testing.T) {
+	const (
+		budget  = 1 << 20
+		workers = 16
+		iters   = 500
+		chunk   = budget / workers / 4 // every worker's reservation always fits
+	)
+	g := NewGovernor(budget)
+	defer func() {
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gr := g.Grant("worker")
+			defer gr.Close()
+			held := int64(0)
+			for i := 0; i < iters; i++ {
+				switch {
+				case i%7 == 3 && held > 0:
+					gr.Release(held)
+					held = 0
+				case gr.TryReserve(chunk):
+					held += chunk
+				}
+				if u := g.Used(); u > budget {
+					t.Errorf("worker %d: used %d exceeds budget %d", w, u, budget)
+					return
+				}
+			}
+			// Half the workers leave bytes for Grant.Close to reclaim.
+			if w%2 == 0 && held > 0 {
+				gr.Release(held)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if p := g.Peak(); p <= 0 || p > budget {
+		t.Fatalf("peak %d outside (0, %d]", p, budget)
+	}
+	if u := g.Used(); u != 0 {
+		t.Fatalf("ledger holds %d bytes after every grant closed", u)
+	}
+	// Over-release must clamp, not underflow.
+	gr := g.Grant("clamp")
+	gr.Force(64)
+	gr.Release(1 << 30)
+	if u := g.Used(); u != 0 {
+		t.Fatalf("over-release left %d bytes", u)
+	}
+	gr.Close()
 }

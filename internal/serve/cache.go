@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/sitstats/sits/internal/cardest"
+)
+
+// estimateCache is a bounded LRU map from request keys to estimates. Keys
+// embed everything an estimate depends on — the canonical expression, the
+// normalized predicates, the registry epoch, and the base-table generation
+// counters — so invalidation is structural: any change to the served SIT set
+// or the underlying data moves the key, the stale entry simply stops being
+// addressed, and the LRU bound reclaims it. The cache itself never has to
+// guess whether an entry is still valid.
+type estimateCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+// cacheEntry is one resident estimate.
+type cacheEntry struct {
+	key string
+	est cardest.Estimate
+}
+
+func newEstimateCache(max int) *estimateCache {
+	return &estimateCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached estimate for key, promoting it to most recently
+// used. The estimate is shared — callers must treat it as immutable.
+func (c *estimateCache) get(key string) (cardest.Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return cardest.Estimate{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).est, true
+}
+
+// put inserts or refreshes the estimate for key, evicting from the LRU tail
+// past the size bound.
+func (c *estimateCache) put(key string, est cardest.Estimate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).est = est
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, est: est})
+	for len(c.entries) > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the resident entry count.
+func (c *estimateCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

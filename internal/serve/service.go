@@ -1,0 +1,244 @@
+// Package serve is the serving layer of the statistics service: it answers
+// SPJ cardinality-estimation requests from a sit.Registry's served SIT set,
+// fronted by a bounded LRU cache keyed on the canonical form of the query
+// expression. Cache hits are answered without touching the builder at all;
+// misses serialize through the registry's single-threaded build machinery
+// (whose base-histogram fallback mutates builder caches) and publish their
+// result for every later identical request. Keys embed the registry epoch
+// and the base tables' generation counters, so a SIT refresh or a table
+// mutation strands stale entries instead of serving them.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"github.com/sitstats/sits/internal/cardest"
+	"github.com/sitstats/sits/internal/sit"
+)
+
+// DefaultCacheEntries bounds the estimate cache when Config.CacheEntries is
+// zero. One entry holds one Estimate (a few hundred bytes), so the default
+// stays small next to any realistic SIT set.
+const DefaultCacheEntries = 4096
+
+// Config parameterizes the serving layer.
+type Config struct {
+	// CacheEntries bounds the estimate cache: 0 uses DefaultCacheEntries,
+	// a negative value disables caching (every request recomputes).
+	CacheEntries int
+}
+
+// Service answers estimation requests over a registry's served SIT set.
+type Service struct {
+	reg   *sit.Registry
+	cache *estimateCache // nil when caching is disabled
+
+	// est is the estimator for the epoch it was built against, rebuilt
+	// lazily when the registry publishes a new epoch. It is only swapped
+	// while holding the registry's builder lock; the pointer itself is
+	// atomic so Stats can peek without taking it.
+	est atomic.Pointer[epochEstimator]
+
+	hits, misses atomic.Int64
+}
+
+// epochEstimator pins an estimator to the registry epoch whose SIT set it
+// has registered.
+type epochEstimator struct {
+	epoch uint64
+	est   *cardest.Estimator
+}
+
+// NewService creates a serving layer over the registry.
+func NewService(reg *sit.Registry, cfg Config) (*Service, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: NewService needs a registry")
+	}
+	s := &Service{reg: reg}
+	switch {
+	case cfg.CacheEntries == 0:
+		s.cache = newEstimateCache(DefaultCacheEntries)
+	case cfg.CacheEntries > 0:
+		s.cache = newEstimateCache(cfg.CacheEntries)
+	}
+	return s, nil
+}
+
+// Registry returns the SIT catalog the service estimates from.
+func (s *Service) Registry() *sit.Registry { return s.reg }
+
+// Estimate answers one SPJ estimation request. It reports whether the answer
+// came from the cache; cached estimates are bit-identical to what
+// recomputation would return, because the cache key pins every input the
+// computation reads (expression, predicates, SIT epoch, table generations)
+// and predicate order is normalized before estimation. The returned Estimate
+// is shared with the cache and must be treated as immutable.
+func (s *Service) Estimate(q cardest.SPJQuery) (cardest.Estimate, bool, error) {
+	if q.Expr == nil {
+		return cardest.Estimate{}, false, fmt.Errorf("serve: request needs a join expression")
+	}
+	nq := normalize(q)
+	if s.cache != nil {
+		key, err := s.key(nq)
+		if err != nil {
+			return cardest.Estimate{}, false, err
+		}
+		if est, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return est, true, nil
+		}
+	}
+	var (
+		out cardest.Estimate
+		hit bool
+	)
+	err := s.reg.WithBuilder(func(b *sit.Builder) error {
+		// Re-key and re-check under the builder lock: epoch swaps happen
+		// under this lock, so the key is now stable against refreshes, and a
+		// request that queued behind an identical miss finds that miss's
+		// freshly published entry here instead of recomputing it.
+		var key string
+		if s.cache != nil {
+			var err error
+			if key, err = s.key(nq); err != nil {
+				return err
+			}
+			if est, ok := s.cache.get(key); ok {
+				out, hit = est, true
+				return nil
+			}
+		}
+		est, err := s.estimator(b)
+		if err != nil {
+			return err
+		}
+		if out, err = est.Estimate(nq); err != nil {
+			return err
+		}
+		if s.cache != nil {
+			s.cache.put(key, out)
+		}
+		return nil
+	})
+	if err != nil {
+		return cardest.Estimate{}, false, err
+	}
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return out, hit, nil
+}
+
+// estimator returns the estimator for the registry's current epoch,
+// rebuilding it from a fresh snapshot when a build or refresh has moved the
+// epoch on. Callers must hold the registry's builder lock (WithBuilder).
+func (s *Service) estimator(b *sit.Builder) (*cardest.Estimator, error) {
+	sits, epoch := s.reg.Snapshot()
+	if cur := s.est.Load(); cur != nil && cur.epoch == epoch {
+		return cur.est, nil
+	}
+	est, err := cardest.New(b)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot order is key-sorted, so registration — and therefore any
+	// order-sensitive tie-breaking inside the estimator — is deterministic.
+	for _, x := range sits {
+		if err := est.Register(x); err != nil {
+			return nil, err
+		}
+	}
+	s.est.Store(&epochEstimator{epoch: epoch, est: est})
+	return est, nil
+}
+
+// key renders the request's full input fingerprint: canonical expression,
+// normalized predicates, registry epoch, and the generation counter of every
+// base table the expression touches. NUL separates fields — it cannot appear
+// in table or attribute names.
+func (s *Service) key(q cardest.SPJQuery) (string, error) {
+	var sb strings.Builder
+	sb.WriteString(q.Expr.Canonical())
+	for _, p := range q.Preds {
+		sb.WriteByte(0)
+		sb.WriteString(p.Table)
+		sb.WriteByte('.')
+		sb.WriteString(p.Attr)
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(p.Lo, 10))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(p.Hi, 10))
+	}
+	sb.WriteByte(0)
+	sb.WriteString("e")
+	sb.WriteString(strconv.FormatUint(s.reg.Epoch(), 10))
+	cat := s.reg.Catalog()
+	for _, name := range q.Expr.Tables() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteByte(0)
+		sb.WriteString(name)
+		sb.WriteByte('@')
+		sb.WriteString(strconv.FormatUint(t.Generation(), 10))
+	}
+	return sb.String(), nil
+}
+
+// normalize returns the query with its predicates in canonical (sorted)
+// order, so permutations of one conjunction share a cache entry and the
+// selectivity product multiplies in one deterministic order — float
+// multiplication is not associative-commutative in rounding, so this is part
+// of the bit-identity guarantee, not just a cache-sharing optimization.
+func normalize(q cardest.SPJQuery) cardest.SPJQuery {
+	if len(q.Preds) < 2 {
+		return q
+	}
+	preds := append([]cardest.Predicate(nil), q.Preds...)
+	sort.Slice(preds, func(i, j int) bool {
+		a, b := preds[i], preds[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Hi < b.Hi
+	})
+	return cardest.SPJQuery{Expr: q.Expr, Preds: preds}
+}
+
+// Stats is a point-in-time view of the serving layer for monitoring.
+type Stats struct {
+	Hits     int64             `json:"hits"`
+	Misses   int64             `json:"misses"`
+	HitRate  float64           `json:"hit_rate"`
+	Entries  int               `json:"entries"`
+	Registry sit.RegistryStats `json:"registry"`
+}
+
+// Stats returns serving counters plus the registry's.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Registry: s.reg.Stats(),
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	if s.cache != nil {
+		st.Entries = s.cache.len()
+	}
+	return st
+}

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/sitstats/sits/internal/cardest"
+	"github.com/sitstats/sits/internal/data"
+	"github.com/sitstats/sits/internal/datagen"
+	"github.com/sitstats/sits/internal/query"
+	"github.com/sitstats/sits/internal/sit"
+)
+
+var serveSpecs = []string{
+	"T2.a | T1 JOIN T2 ON T1.jnext = T2.jprev",
+	"T3.a | T2 JOIN T3 ON T2.jnext = T3.jprev",
+	"T3.a | T1 JOIN T2 ON T1.jnext = T2.jprev JOIN T3 ON T2.jnext = T3.jprev",
+}
+
+// newChainService builds a registry over a fresh chain DB, populates it with
+// the test SIT set, and fronts it with a service.
+func newChainService(t *testing.T, scfg sit.Config, cfg Config) (*Service, *data.Catalog) {
+	t.Helper()
+	cat, err := datagen.ChainDB(datagen.DefaultChainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := sit.NewRegistry(cat, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := reg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, text := range serveSpecs {
+		spec, err := query.ParseSIT(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Get(spec, sit.SweepFull); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, err := NewService(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, cat
+}
+
+func mustExpr(t *testing.T, s string) *query.Expr {
+	t.Helper()
+	e, err := query.ParseExpr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testQueries(t *testing.T) []cardest.SPJQuery {
+	t.Helper()
+	join2 := mustExpr(t, "T1 JOIN T2 ON T1.jnext = T2.jprev")
+	join3 := mustExpr(t, "T1 JOIN T2 ON T1.jnext = T2.jprev JOIN T3 ON T2.jnext = T3.jprev")
+	return []cardest.SPJQuery{
+		{Expr: join2, Preds: []cardest.Predicate{{Table: "T2", Attr: "a", Lo: 0, Hi: 900}}},
+		{Expr: join2, Preds: []cardest.Predicate{
+			{Table: "T2", Attr: "a", Lo: 100, Hi: 1500},
+			{Table: "T1", Attr: "b", Lo: 0, Hi: 5000},
+		}},
+		{Expr: join3, Preds: []cardest.Predicate{
+			{Table: "T3", Attr: "a", Lo: 0, Hi: 1200},
+			{Table: "T2", Attr: "a", Lo: 50, Hi: 1900},
+		}},
+		{Expr: join3, Preds: nil},
+	}
+}
+
+// TestCachedEstimatesBitIdentical asserts the core serving guarantee: the
+// cache never changes an answer. For every query the miss, the subsequent
+// hit, an uncached service's answer, and a permuted-predicate request must
+// all be bit-identical — across execution widths and memory budgets.
+func TestCachedEstimatesBitIdentical(t *testing.T) {
+	configs := []sit.Config{
+		sit.DefaultConfig(),
+		func() sit.Config {
+			c := sit.DefaultConfig()
+			c.Parallelism = 2
+			c.MemBudget = 64 << 20
+			return c
+		}(),
+	}
+	var baseline []cardest.Estimate
+	for ci, scfg := range configs {
+		cached, _ := newChainService(t, scfg, Config{})
+		uncached, err := NewService(cached.Registry(), Config{CacheEntries: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range testQueries(t) {
+			miss, wasHit, err := cached.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wasHit {
+				t.Fatalf("config %d query %d: first request reported a cache hit", ci, qi)
+			}
+			hit, wasHit, err := cached.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !wasHit {
+				t.Fatalf("config %d query %d: second request missed the cache", ci, qi)
+			}
+			raw, _, err := uncached.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(miss, hit) || !reflect.DeepEqual(miss, raw) {
+				t.Fatalf("config %d query %d: cached and uncached estimates diverge:\nmiss %+v\nhit  %+v\nraw  %+v",
+					ci, qi, miss, hit, raw)
+			}
+			if len(q.Preds) > 1 {
+				perm := cardest.SPJQuery{Expr: q.Expr, Preds: []cardest.Predicate{q.Preds[1], q.Preds[0]}}
+				got, wasHit, err := cached.Estimate(perm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !wasHit {
+					t.Fatalf("config %d query %d: permuted predicates missed the shared entry", ci, qi)
+				}
+				if !reflect.DeepEqual(got, miss) {
+					t.Fatalf("config %d query %d: permuted predicates changed the estimate", ci, qi)
+				}
+			}
+			// Estimates must not depend on the build configuration either.
+			if ci == 0 {
+				baseline = append(baseline, miss)
+			} else if !reflect.DeepEqual(miss, baseline[qi]) {
+				t.Fatalf("query %d: estimate differs between configs:\n%+v\n%+v", qi, miss, baseline[qi])
+			}
+		}
+	}
+}
+
+// TestCacheInvalidation asserts both invalidation keys: a base-table
+// mutation (generation bump) and a SIT refresh (epoch bump) each force the
+// next identical request to recompute.
+func TestCacheInvalidation(t *testing.T) {
+	svc, cat := newChainService(t, sit.DefaultConfig(), Config{})
+	q := testQueries(t)[0]
+
+	if _, hit, err := svc.Estimate(q); err != nil || hit {
+		t.Fatalf("first estimate: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := svc.Estimate(q); err != nil || !hit {
+		t.Fatalf("repeat estimate: hit=%v err=%v", hit, err)
+	}
+
+	// A mutation anywhere in the query's tables moves the generation and the key.
+	t1 := cat.MustTable("T1")
+	row, err := t1.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.AppendRow(row...); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := svc.Estimate(q); err != nil || hit {
+		t.Fatalf("estimate after mutation: hit=%v err=%v (stale entry served)", hit, err)
+	}
+
+	// A refresh that rebuilds SITs moves the epoch and every key with it.
+	n := t1.NumRows() / 2
+	for i := 0; i < n; i++ {
+		if err := t1.AppendRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := svc.Registry().Refresh(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) == 0 {
+		t.Fatal("refresh rebuilt nothing after 50% growth")
+	}
+	if _, hit, err := svc.Estimate(q); err != nil || hit {
+		t.Fatalf("estimate after refresh: hit=%v err=%v (pre-refresh entry served)", hit, err)
+	}
+	st := svc.Stats()
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("stats %+v, want 1 hit / 3 misses", st)
+	}
+}
+
+// TestCacheSingleFlight fires identical concurrent requests at a cold cache
+// and asserts exactly one recomputes: the rest either hit the fast path or
+// find the first request's entry when they reach the builder.
+func TestCacheSingleFlight(t *testing.T) {
+	svc, _ := newChainService(t, sit.DefaultConfig(), Config{})
+	q := testQueries(t)[2]
+
+	const callers = 32
+	results := make([]cardest.Estimate, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			est, _, err := svc.Estimate(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = est
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("caller %d got a different estimate", i)
+		}
+	}
+	st := svc.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats %+v, want exactly 1 miss and %d hits", st, callers-1)
+	}
+}
+
+// TestCacheLRUEviction bounds the cache at two entries and asserts the
+// least-recently-used one is evicted.
+func TestCacheLRUEviction(t *testing.T) {
+	svc, _ := newChainService(t, sit.DefaultConfig(), Config{CacheEntries: 2})
+	qs := testQueries(t)
+	for _, q := range qs[:3] {
+		if _, hit, err := svc.Estimate(q); err != nil || hit {
+			t.Fatalf("cold estimate: hit=%v err=%v", hit, err)
+		}
+	}
+	if n := svc.Stats().Entries; n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	// qs[0] was the LRU victim; qs[2] is still resident.
+	if _, hit, err := svc.Estimate(qs[2]); err != nil || !hit {
+		t.Fatalf("resident entry: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := svc.Estimate(qs[0]); err != nil || hit {
+		t.Fatalf("evicted entry: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestServiceErrors covers request validation.
+func TestServiceErrors(t *testing.T) {
+	svc, _ := newChainService(t, sit.DefaultConfig(), Config{})
+	if _, _, err := svc.Estimate(cardest.SPJQuery{}); err == nil {
+		t.Fatal("nil expression must fail")
+	}
+	q := cardest.SPJQuery{
+		Expr:  mustExpr(t, "T1 JOIN T2 ON T1.jnext = T2.jprev"),
+		Preds: []cardest.Predicate{{Table: "T4", Attr: "a", Lo: 0, Hi: 1}},
+	}
+	if _, _, err := svc.Estimate(q); err == nil {
+		t.Fatal("predicate outside the expression must fail")
+	}
+	if _, err := NewService(nil, Config{}); err == nil {
+		t.Fatal("nil registry must fail")
+	}
+}

@@ -142,6 +142,14 @@ type Config struct {
 	// bit-identical at any budget. Spill files live in a temp directory owned
 	// by the builder and are removed by Close.
 	MemBudget int64
+	// Governor injects a shared memory governor instead of the private one a
+	// positive MemBudget creates: every Builder (and service request) handed
+	// the same Governor reserves against one process-wide byte budget, the
+	// steady-state regime a statistics server runs in. A shared governor is
+	// not owned by the builder — Close leaves it (and its spill store) alone —
+	// and it overrides MemBudget/SpillCompress, which configure only
+	// builder-private governors.
+	Governor *mem.Governor
 	// SpillCompress encodes spill runs with the SRN2 block codec instead of
 	// raw SRN1 (DefaultConfig turns it on). Spilled operators read either
 	// format transparently; the flag only affects runs written by this
@@ -198,7 +206,11 @@ type Builder struct {
 	idx  map[string]*btree.Tree          // "T.a" -> index
 	sits map[string]*SIT                 // method + canonical spec -> SIT
 	seed int64                           // per-reservoir seed sequence
-	gov  *mem.Governor                   // non-nil iff cfg.MemBudget > 0
+	gov  *mem.Governor                   // shared (cfg.Governor) or private (cfg.MemBudget > 0)
+	// ownsGov marks a builder-private governor: Close tears it down. A
+	// governor injected through cfg.Governor is shared across builders and
+	// outlives each of them.
+	ownsGov bool
 }
 
 // NewBuilder creates a Builder over the catalog.
@@ -218,21 +230,33 @@ func NewBuilder(cat *data.Catalog, cfg Config) (*Builder, error) {
 		sits: map[string]*SIT{},
 		seed: cfg.Seed,
 	}
-	if cfg.MemBudget > 0 {
+	switch {
+	case cfg.Governor != nil:
+		b.gov = cfg.Governor
+	case cfg.MemBudget > 0:
 		b.gov = mem.NewGovernor(cfg.MemBudget)
 		b.gov.SetSpillCompression(cfg.SpillCompress)
+		b.ownsGov = true
 	}
 	return b, nil
 }
 
-// Governor returns the builder's memory governor, or nil when the builder is
-// un-budgeted (Config.MemBudget == 0).
+// Governor returns the builder's memory governor — the shared one injected
+// through Config.Governor, the private one created for Config.MemBudget, or
+// nil when the builder is un-budgeted.
 func (b *Builder) Governor() *mem.Governor { return b.gov }
 
 // Close releases the builder's spill resources (the governor's run-store temp
-// directory). It is safe on an un-budgeted builder and safe to call twice;
-// the builder must not execute further plans afterwards.
-func (b *Builder) Close() error { return b.gov.Close() }
+// directory) when the builder owns its governor; a governor shared through
+// Config.Governor is left running for its other builders. It is safe on an
+// un-budgeted builder and safe to call twice; the builder must not execute
+// further plans afterwards.
+func (b *Builder) Close() error {
+	if !b.ownsGov {
+		return nil
+	}
+	return b.gov.Close()
+}
 
 // hist2D returns (building and caching on first use) the 2-D histogram over
 // the table's attribute pair.
