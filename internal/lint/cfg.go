@@ -1,0 +1,508 @@
+package lint
+
+// This file builds per-function control-flow graphs over go/ast, the
+// foundation of the flow-sensitive lifecycle checks (grantleak, planclose).
+// The builder is deliberately small: blocks hold statements in execution
+// order, if/for conditions sit on the block that evaluates them (with the
+// true successor first), break/continue/goto/return become edges, and defer
+// statements are collected in registration order for the dataflow engine to
+// replay as exit actions. Panic terminates into the exit block (deferred
+// closes still run); os.Exit and log.Fatal* terminate with no exit edge
+// (nothing runs after them, so nothing can leak past them).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// cfgBlock is one basic block: statements executed in order, then a branch.
+// When cond is non-nil the block ends in a two-way branch — succs[0] is the
+// condition-true edge, succs[1] the condition-false edge. With a nil cond
+// every successor receives the same flow facts (multi-way switch/select
+// dispatch, loop back-edges, plain fallthrough into a join).
+type cfgBlock struct {
+	index int
+	stmts []ast.Node
+	cond  ast.Expr
+	succs []*cfgBlock
+}
+
+// funcCFG is one function body's graph plus the lexically registered defers.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock
+	defers []*ast.DeferStmt
+}
+
+// cfgLabel records the targets a named label exposes: block for goto, and
+// the enclosing loop/switch join and post blocks for labeled break/continue.
+type cfgLabel struct {
+	block *cfgBlock
+	brk   *cfgBlock
+	cont  *cfgBlock
+}
+
+type cfgBuilder struct {
+	info *types.Info
+	cfg  *funcCFG
+	cur  *cfgBlock
+
+	breaks    []*cfgBlock // innermost-last break targets
+	continues []*cfgBlock // innermost-last continue targets
+	fall      *cfgBlock   // fallthrough target while building a case body
+
+	labels       map[string]*cfgLabel
+	pendingGotos []pendingGoto
+	pendingLabel string // label naming the next loop/switch being built
+}
+
+type pendingGoto struct {
+	from *cfgBlock
+	name string
+}
+
+// buildCFG constructs the CFG of a function body. info may be nil; it is
+// used only to recognize the panic builtin and the os.Exit/log.Fatal
+// terminators.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	b := &cfgBuilder{
+		info:   info,
+		cfg:    &funcCFG{},
+		labels: map[string]*cfgLabel{},
+	}
+	b.cfg.entry = b.newBlock()
+	b.cfg.exit = &cfgBlock{}
+	b.cur = b.cfg.entry
+	b.buildList(body.List)
+	b.edge(b.cur, b.cfg.exit)
+	for _, g := range b.pendingGotos {
+		if l := b.labels[g.name]; l != nil {
+			b.edge(g.from, l.block)
+		}
+	}
+	b.finish()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// terminate ends the current block (its edges are already placed) and parks
+// subsequent statements in a fresh unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) buildList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.buildStmt(s)
+	}
+}
+
+func (b *cfgBuilder) buildStmt(s ast.Stmt) {
+	switch stmt := s.(type) {
+	case *ast.BlockStmt:
+		b.buildList(stmt.List)
+
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, stmt.Init)
+		}
+		condBlk := b.cur
+		condBlk.cond = stmt.Cond
+		thenBlk := b.newBlock()
+		join := b.newBlock()
+		b.edge(condBlk, thenBlk) // true edge first
+		b.cur = thenBlk
+		b.buildStmt(stmt.Body)
+		b.edge(b.cur, join)
+		if stmt.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.buildStmt(stmt.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if stmt.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, stmt.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		post := head
+		if stmt.Post != nil {
+			post = b.newBlock()
+			post.stmts = append(post.stmts, stmt.Post)
+			b.edge(post, head)
+		}
+		b.edge(b.cur, head)
+		if stmt.Cond != nil {
+			head.cond = stmt.Cond
+			b.edge(head, body)
+			b.edge(head, join)
+		} else {
+			b.edge(head, body)
+		}
+		b.setLabel(label, join, post)
+		b.pushLoop(join, post)
+		b.cur = body
+		b.buildStmt(stmt.Body)
+		b.popLoop()
+		b.edge(b.cur, post)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		head.stmts = append(head.stmts, stmt)
+		body := b.newBlock()
+		join := b.newBlock()
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		b.edge(head, join)
+		b.setLabel(label, join, head)
+		b.pushLoop(join, head)
+		b.cur = body
+		b.buildStmt(stmt.Body)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if stmt.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, stmt.Init)
+		}
+		if stmt.Tag != nil {
+			b.cur.stmts = append(b.cur.stmts, stmt.Tag)
+		}
+		b.buildCases(label, stmt.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if stmt.Init != nil {
+			b.cur.stmts = append(b.cur.stmts, stmt.Init)
+		}
+		b.cur.stmts = append(b.cur.stmts, stmt.Assign)
+		b.buildCases(label, stmt.Body.List, true)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.buildCases(label, stmt.Body.List, false)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[stmt.Label.Name] = &cfgLabel{block: target}
+		b.pendingLabel = stmt.Label.Name
+		b.buildStmt(stmt.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.stmts = append(b.cur.stmts, stmt)
+		b.edge(b.cur, b.cfg.exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.cur.stmts = append(b.cur.stmts, stmt)
+		switch stmt.Tok {
+		case token.BREAK:
+			if stmt.Label != nil {
+				if l := b.labels[stmt.Label.Name]; l != nil {
+					b.edge(b.cur, l.brk)
+				}
+			} else if len(b.breaks) > 0 {
+				b.edge(b.cur, b.breaks[len(b.breaks)-1])
+			}
+		case token.CONTINUE:
+			if stmt.Label != nil {
+				if l := b.labels[stmt.Label.Name]; l != nil {
+					b.edge(b.cur, l.cont)
+				}
+			} else if len(b.continues) > 0 {
+				b.edge(b.cur, b.continues[len(b.continues)-1])
+			}
+		case token.GOTO:
+			if l := b.labels[stmt.Label.Name]; l != nil {
+				b.edge(b.cur, l.block)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, name: stmt.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.fall)
+		}
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.cfg.defers = append(b.cfg.defers, stmt)
+		b.cur.stmts = append(b.cur.stmts, stmt)
+
+	case *ast.ExprStmt:
+		b.cur.stmts = append(b.cur.stmts, stmt)
+		if call, ok := unparen(stmt.X).(*ast.CallExpr); ok {
+			if b.isPanic(call) {
+				b.edge(b.cur, b.cfg.exit) // defers run on the panic path
+				b.terminate()
+			} else if b.isNoReturn(call) {
+				b.terminate() // os.Exit: no deferred closes, no leak past it
+			}
+		}
+
+	default:
+		b.cur.stmts = append(b.cur.stmts, stmt)
+	}
+}
+
+// buildCases builds the clause blocks of a switch/type-switch/select. When
+// fallthroughOK, a fallthrough in clause i edges into clause i+1's block.
+// defaultFalls: a switch without a default clause can fall through to the
+// join without entering any case; a select without default cannot.
+func (b *cfgBuilder) buildCases(label string, clauses []ast.Stmt, isSwitch bool) {
+	dispatch := b.cur
+	join := b.newBlock()
+	b.setLabel(label, join, nil)
+
+	hasDefault := false
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	var caseBodies [][]ast.Stmt
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(dispatch, caseBlocks[i])
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				caseBlocks[i].stmts = append(caseBlocks[i].stmts, e)
+			}
+			caseBodies = append(caseBodies, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				caseBlocks[i].stmts = append(caseBlocks[i].stmts, cl.Comm)
+			}
+			caseBodies = append(caseBodies, cl.Body)
+		}
+	}
+	if isSwitch && !hasDefault {
+		b.edge(dispatch, join)
+	}
+	if len(clauses) == 0 {
+		if !isSwitch {
+			b.terminate() // select{} blocks forever
+			b.cur = join  // join unreachable, kept for symmetry
+			return
+		}
+		b.cur = join
+		return
+	}
+	b.breaks = append(b.breaks, join)
+	for i := range clauses {
+		b.cur = caseBlocks[i]
+		if isSwitch && i+1 < len(clauses) {
+			b.fall = caseBlocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.buildList(caseBodies[i])
+		b.edge(b.cur, join)
+	}
+	b.fall = nil
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// takeLabel consumes the pending label attached to the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// setLabel records the break/continue targets of a labeled loop or switch.
+func (b *cfgBuilder) setLabel(name string, brk, cont *cfgBlock) {
+	if name == "" {
+		return
+	}
+	if l := b.labels[name]; l != nil {
+		l.brk, l.cont = brk, cont
+	}
+}
+
+// isPanic reports whether the call invokes the panic builtin.
+func (b *cfgBuilder) isPanic(call *ast.CallExpr) bool {
+	if b.info == nil {
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return isBuiltin(b.info, call, "panic")
+}
+
+// isNoReturn reports whether the call never returns and runs no defers:
+// os.Exit, runtime.Goexit (which does run defers, but control never reaches
+// the exit of this function normally; treating it as a dead end errs on the
+// quiet side), and log.Fatal*.
+func (b *cfgBuilder) isNoReturn(call *ast.CallExpr) bool {
+	if b.info == nil {
+		return false
+	}
+	fn := calleeFunc(b.info, call)
+	if fn == nil {
+		return false
+	}
+	switch pkgPathOf(fn) {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return strings.HasPrefix(fn.Name(), "Fatal")
+	}
+	return false
+}
+
+// finish prunes unreachable empty scaffolding blocks, appends the exit block
+// and assigns stable indices (entry first, exit last, construction order in
+// between) so golden renderings are deterministic.
+func (b *cfgBuilder) finish() {
+	preds := map[*cfgBlock]int{}
+	for _, blk := range b.cfg.blocks {
+		for _, s := range blk.succs {
+			preds[s]++
+		}
+	}
+	// Iteratively drop empty, pred-less, non-entry blocks: removing one can
+	// strand another (an unreachable chain left by consecutive terminators).
+	for {
+		removed := false
+		kept := b.cfg.blocks[:0]
+		for _, blk := range b.cfg.blocks {
+			if blk != b.cfg.entry && preds[blk] == 0 && len(blk.stmts) == 0 && blk.cond == nil {
+				for _, s := range blk.succs {
+					preds[s]--
+				}
+				removed = true
+				continue
+			}
+			kept = append(kept, blk)
+		}
+		b.cfg.blocks = kept
+		if !removed {
+			break
+		}
+	}
+	b.cfg.blocks = append(b.cfg.blocks, b.cfg.exit)
+	for i, blk := range b.cfg.blocks {
+		blk.index = i
+	}
+}
+
+// String renders the CFG compactly for golden tests: one line per block with
+// statement kinds, the branch condition if any, and successor indices.
+func (c *funcCFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.index)
+		if blk == c.exit {
+			sb.WriteString(" exit")
+			if len(c.defers) > 0 {
+				fmt.Fprintf(&sb, " (defers: %d)", len(c.defers))
+			}
+		}
+		for _, s := range blk.stmts {
+			sb.WriteString(" ")
+			sb.WriteString(nodeKind(s))
+		}
+		if blk.cond != nil {
+			fmt.Fprintf(&sb, " [if %s]", types.ExprString(blk.cond))
+		}
+		if len(blk.succs) > 0 {
+			ids := make([]string, len(blk.succs))
+			for i, s := range blk.succs {
+				ids[i] = fmt.Sprintf("b%d", s.index)
+			}
+			// Branch blocks keep true/false edge order; plain blocks sort for
+			// stability.
+			if blk.cond == nil {
+				sort.Strings(ids)
+			}
+			fmt.Fprintf(&sb, " -> %s", strings.Join(ids, " "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeKind names a statement/expression for CFG renderings.
+func nodeKind(n ast.Node) string {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.BranchStmt:
+		return strings.ToLower(s.Tok.String())
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.ExprStmt:
+		if _, ok := unparen(s.X).(*ast.CallExpr); ok {
+			return "call"
+		}
+		return "expr"
+	case *ast.EmptyStmt:
+		return "empty"
+	case ast.Expr:
+		return "expr"
+	default:
+		return strings.TrimPrefix(strings.ToLower(fmt.Sprintf("%T", n)), "*ast.")
+	}
+}

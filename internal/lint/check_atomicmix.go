@@ -1,0 +1,166 @@
+package lint
+
+// atomicmix: a variable or struct field accessed through sync/atomic
+// anywhere in the package must never be read or written plainly elsewhere in
+// the same package. Mixing the two silently downgrades the atomic accesses —
+// the plain side tears and races, and the race detector only catches it when
+// the interleaving actually happens. The Registry epoch and the Grant.used
+// CAS ledger are exactly this shape.
+//
+// Two rules:
+//
+//   - For raw-word atomics (atomic.AddInt64(&x.f, ...) etc.): every other
+//     appearance of x.f must itself be a sync/atomic call argument. Keyed
+//     composite-literal initialization is allowed — construction before
+//     publication is the sanctioned pattern.
+//   - For atomic value types (atomic.Int64, atomic.Bool, atomic.Pointer,
+//     sync/atomic's Value, ...): whole-value assignment after construction
+//     (g.used = atomic.Int64{}) replaces the word non-atomically and is
+//     flagged wherever it appears.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func checkAtomicMix() Check {
+	return Check{
+		Name: "atomicmix",
+		Doc:  "fields accessed via sync/atomic must not also be accessed plainly",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(p *Package) []Diagnostic {
+	// Pass 1: collect every object (field or package/local var) whose
+	// address is taken as the pointer argument of a sync/atomic call.
+	atomicObjs := map[types.Object]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObj(p, un.X); obj != nil {
+					atomicObjs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.Ident:
+				obj := p.Info.Uses[node]
+				if obj == nil || !atomicObjs[obj] {
+					return true
+				}
+				if plainAtomicUse(p, node, stack) {
+					out = append(out, p.diag("atomicmix", node, fmt.Sprintf(
+						"%q is accessed with sync/atomic elsewhere in this package; plain access races with the atomic side — use atomic.Load/Store here",
+						node.Name)))
+				}
+			case *ast.AssignStmt:
+				for _, d := range atomicValueOverwrites(p, node) {
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+	return out
+}
+
+// isAtomicCall reports whether the call invokes a sync/atomic package-level
+// function (AddInt64, LoadPointer, CompareAndSwapUint32, ...).
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Info, call)
+	return fn != nil && pkgPathOf(fn) == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedObj resolves the operand of a unary & used as an atomic pointer
+// argument: a struct field selector (&x.f) or a plain variable (&v).
+func addressedObj(p *Package, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[x.Sel]
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// plainAtomicUse reports whether this mention of an atomically-accessed
+// object is a forbidden plain access: anything that is not (a) an argument
+// of a sync/atomic call, (b) a keyed composite-literal initialization, or
+// (c) the field's declaration.
+func plainAtomicUse(p *Package, id *ast.Ident, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(p, parent) {
+				return false
+			}
+		case *ast.KeyValueExpr:
+			if parent.Key == id {
+				return false // construction-time init before publication
+			}
+		case *ast.Field, *ast.StructType:
+			return false // the declaration itself
+		}
+	}
+	return true
+}
+
+// atomicValueOverwrites flags assignments that replace a whole atomic value
+// type (atomic.Int64{}, atomic.Value, ...) after construction.
+func atomicValueOverwrites(p *Package, stmt *ast.AssignStmt) []Diagnostic {
+	if stmt.Tok != token.ASSIGN {
+		return nil // := declares a fresh local; copying in is vet's (copylocks) beat
+	}
+	var out []Diagnostic
+	for _, lhs := range stmt.Lhs {
+		target := unparen(lhs)
+		if _, ok := target.(*ast.SelectorExpr); !ok {
+			if _, ok := target.(*ast.IndexExpr); !ok {
+				continue
+			}
+		}
+		t := p.Info.TypeOf(target)
+		if t == nil || !isAtomicValueType(t) {
+			continue
+		}
+		out = append(out, p.diag("atomicmix", lhs, fmt.Sprintf(
+			"whole-value assignment to %s replaces an atomic value non-atomically; use its Store method",
+			types.ExprString(target))))
+	}
+	return out
+}
+
+// isAtomicValueType reports whether t is a named type declared in
+// sync/atomic (Int64, Uint32, Bool, Pointer[T], Value, ...).
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

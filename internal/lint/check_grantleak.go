@@ -1,0 +1,117 @@
+package lint
+
+// grantleak: every memory-governor acquisition must be released on all paths.
+//
+// Two fact kinds ride the lifecycle engine:
+//
+//   - "grant": the *Grant returned by Governor.Grant must reach Grant.Close
+//     on every path out of the function (PR 5's accounting contract — an
+//     unclosed grant strands its bytes in Governor.used forever once N
+//     builders share one Governor).
+//   - "reservation": bytes admitted on a grant by Reserve / TryReserve /
+//     Force must reach Release or Close. Reservations are tracked only on
+//     grants opened in the same function — reserving on a parameter or field
+//     grant is the owner's ledger, not this function's obligation.
+//
+// Matching is structural (receiver type *named* Governor / Grant), so the
+// check binds against internal/mem without the lint package importing it and
+// fixtures can declare their own mock types.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func checkGrantLeak() Check {
+	return Check{
+		Name: "grantleak",
+		Doc:  "governor grants and reservations must be released on every path",
+		Run:  runGrantLeak,
+	}
+}
+
+func runGrantLeak(p *Package) []Diagnostic {
+	return runLifecycle(p, lifecycleSpec{
+		check:      "grantleak",
+		open:       grantOpen,
+		closeKinds: grantCloseKinds,
+		leakMsg: func(f *lcFact) string {
+			closer := "Close"
+			if f.kind == "reservation" {
+				closer = "Release"
+			}
+			return fmt.Sprintf("%s %q may leak %s", f.what, f.name, leakSuffix(f, closer))
+		},
+	})
+}
+
+// grantOpen classifies Governor.Grant (result-bound) and the reservation
+// methods on Grant (receiver-bound).
+func grantOpen(p *Package, call *ast.CallExpr) (lcOpen, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lcOpen{}, false
+	}
+	recvType := receiverTypeOf(p, sel)
+	if recvType == nil {
+		return lcOpen{}, false
+	}
+	switch sel.Sel.Name {
+	case "Grant":
+		if typeNameIs(recvType, "Governor") && typeNameIs(firstResultType(p.Info, call), "Grant") {
+			return lcOpen{kind: "grant", what: "grant"}, true
+		}
+	case "Reserve":
+		if typeNameIs(recvType, "Grant") {
+			return lcOpen{kind: "reservation", what: "reservation", resIsRecv: true,
+				requiresKind: "grant", conditional: true}, true
+		}
+	case "TryReserve":
+		if typeNameIs(recvType, "Grant") {
+			return lcOpen{kind: "reservation", what: "reservation", resIsRecv: true,
+				requiresKind: "grant", conditional: true}, true
+		}
+	case "Force":
+		if typeNameIs(recvType, "Grant") {
+			return lcOpen{kind: "reservation", what: "reservation", resIsRecv: true,
+				requiresKind: "grant"}, true
+		}
+	}
+	return lcOpen{}, false
+}
+
+// grantCloseKinds recognizes res.Close() (kills grant and reservation) and
+// res.Release(n) (kills reservation).
+func grantCloseKinds(p *Package, call *ast.CallExpr, res types.Object) []string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok || p.Info.Uses[id] != res {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Close":
+		return []string{"grant", "reservation"}
+	case "Release":
+		return []string{"reservation"}
+	}
+	return nil
+}
+
+// receiverTypeOf returns the type of a method call's receiver expression,
+// or nil when the selector is a package-qualified name.
+func receiverTypeOf(p *Package, sel *ast.SelectorExpr) types.Type {
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+			return nil
+		}
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}

@@ -1,0 +1,110 @@
+package lint
+
+// planclose: operator trees must be closed on every path.
+//
+// The PR-8 leak class: PlanBatch materializes an operator tree whose
+// constructors took grant reservations; an error return between PlanBatch
+// and ClosePlan strands those bytes in the shared Governor. The check
+// tracks, per function, any locally-bound value that either
+//
+//   - came from a call to a function named PlanBatch, or
+//   - has ClosePlan in its method set (the exec.PlanCloser shape, matched
+//     structurally so fixtures need not import internal/exec),
+//
+// and requires a ClosePlan(res) / res.ClosePlan() / res.Close() call on
+// every path to exit, `defer` included.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func checkPlanClose() Check {
+	return Check{
+		Name: "planclose",
+		Doc:  "operator plans (PlanBatch results / PlanCloser values) must be closed on every path",
+		Run:  runPlanClose,
+	}
+}
+
+func runPlanClose(p *Package) []Diagnostic {
+	return runLifecycle(p, lifecycleSpec{
+		check:      "planclose",
+		open:       planOpen,
+		closeKinds: planCloseKinds,
+		leakMsg: func(f *lcFact) string {
+			return fmt.Sprintf("%s %q may escape %s", f.what, f.name, leakSuffix(f, "ClosePlan"))
+		},
+	})
+}
+
+// planOpen classifies plan-producing calls: any call named PlanBatch, or any
+// call (not a method on an already-tracked value) whose first result's
+// method set contains ClosePlan.
+func planOpen(p *Package, call *ast.CallExpr) (lcOpen, bool) {
+	name := calleeName(call)
+	if name == "" {
+		return lcOpen{}, false
+	}
+	res := firstResultType(p.Info, call)
+	if name == "PlanBatch" {
+		return lcOpen{kind: "plan", what: "plan"}, true
+	}
+	// Closing methods and accessors on a plan also return the plan's type;
+	// only constructor-shaped names open a fact, so `op.ClosePlan()` or a
+	// getter doesn't re-open what it touches.
+	if hasMethod(res, "ClosePlan") && name != "ClosePlan" && name != "Close" {
+		return lcOpen{kind: "plan", what: "plan"}, true
+	}
+	return lcOpen{}, false
+}
+
+// planCloseKinds recognizes ClosePlan(res) free-function calls and
+// res.ClosePlan() / res.Close() method calls.
+func planCloseKinds(p *Package, call *ast.CallExpr, res types.Object) []string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "ClosePlan" {
+			return nil
+		}
+		for _, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && p.Info.Uses[id] == res {
+				return []string{"plan"}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "ClosePlan" {
+			// Qualified exec.ClosePlan(res): selector on a package name.
+			if id, ok := unparen(fun.X).(*ast.Ident); ok {
+				if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+					for _, arg := range call.Args {
+						if aid, ok := unparen(arg).(*ast.Ident); ok && p.Info.Uses[aid] == res {
+							return []string{"plan"}
+						}
+					}
+					return nil
+				}
+			}
+		}
+		if fun.Sel.Name != "ClosePlan" && fun.Sel.Name != "Close" {
+			return nil
+		}
+		if id, ok := unparen(fun.X).(*ast.Ident); ok && p.Info.Uses[id] == res {
+			return []string{"plan"}
+		}
+	}
+	return nil
+}
+
+// calleeName returns the bare name a call invokes ("PlanBatch" for both
+// PlanBatch(...) and exec.PlanBatch(...) and recv.PlanBatch(...)), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnippet type-checks a one-file package written to a temp dir through
+// the real World loader, so snippet tests exercise the same import
+// resolution the command uses (module-internal imports included).
+func loadSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	w := fixtureWorld(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.LoadDir(dir, w.ModulePath+"/lintfixture/snippet")
+	if err != nil {
+		t.Fatalf("load snippet: %v\n%s", err, src)
+	}
+	return p
+}
+
+// TestReintroducedGrantLeakCaught un-fixes the PR-8 shared-scan shape: the
+// real sit/parallel.go acquires gov.Grant("scan-scratch") and defers Close
+// before fanning out. Deleting the defer and adding an early error return —
+// exactly the bug class the hand-audit fixed — must produce a grantleak
+// diagnostic at the Grant call; restoring the defer must silence it.
+func TestReintroducedGrantLeakCaught(t *testing.T) {
+	const unfixed = `package snippet
+
+import (
+	"errors"
+
+	"github.com/sitstats/sits/internal/mem"
+)
+
+func sharedScan(gov *mem.Governor, nchunks int) error {
+	grant := gov.Grant("scan-scratch")
+	if nchunks == 0 {
+		return errors.New("empty table")
+	}
+	grant.Close()
+	return nil
+}
+`
+	p := loadSnippet(t, unfixed)
+	diags := runGrantLeak(p)
+	if len(diags) != 1 {
+		t.Fatalf("un-fixed shared-scan shape: want 1 grantleak finding, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `grant "grant"`) {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+
+	fixed := strings.Replace(unfixed,
+		"\tif nchunks == 0 {",
+		"\tdefer grant.Close()\n\tif nchunks == 0 {", 1)
+	fixed = strings.Replace(fixed, "\tgrant.Close()\n\treturn nil", "\treturn nil", 1)
+	if fixed == unfixed {
+		t.Fatal("fix rewrite did not apply")
+	}
+	if diags := runGrantLeak(loadSnippet(t, fixed)); len(diags) != 0 {
+		t.Fatalf("fixed shape should be clean, got %v", diags)
+	}
+}
+
+// TestReintroducedPlanLeakCaught un-fixes the exec.CardinalityOpts shape:
+// PlanBatch, an error return from a follow-up step, ClosePlan only at the
+// end. PR 8 fixed this exact pattern by inserting `defer ClosePlan(op)`
+// right after the PlanBatch error check.
+func TestReintroducedPlanLeakCaught(t *testing.T) {
+	const unfixed = `package snippet
+
+type batchOp struct{}
+
+func (o *batchOp) ClosePlan()       {}
+func (o *batchOp) NextBatch() bool  { return false }
+
+func ClosePlan(op interface{ ClosePlan() }) { op.ClosePlan() }
+
+type catalog struct{}
+
+func PlanBatch(cat *catalog) (*batchOp, error) { return &batchOp{}, nil }
+
+func columnIndex(cat *catalog) (int, error) { return 0, nil }
+
+func attrValues(cat *catalog) ([]int64, error) {
+	op, err := PlanBatch(cat)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := columnIndex(cat)
+	if err != nil {
+		return nil, err
+	}
+	_ = idx
+	var out []int64
+	for op.NextBatch() {
+		out = append(out, 0)
+	}
+	ClosePlan(op)
+	return out, nil
+}
+`
+	p := loadSnippet(t, unfixed)
+	diags := runPlanClose(p)
+	if len(diags) != 1 {
+		t.Fatalf("un-fixed AttrValues shape: want 1 planclose finding, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `plan "op"`) {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+
+	fixed := strings.Replace(unfixed,
+		"\tidx, err := columnIndex(cat)",
+		"\tdefer ClosePlan(op)\n\tidx, err := columnIndex(cat)", 1)
+	fixed = strings.Replace(fixed, "\tClosePlan(op)\n\treturn out, nil", "\treturn out, nil", 1)
+	if diags := runPlanClose(loadSnippet(t, fixed)); len(diags) != 0 {
+		t.Fatalf("fixed shape should be clean, got %v", diags)
+	}
+}
+
+// TestTransfersDirectiveScope: the directive discharges only the named
+// variable and only at its own position — a second leak in the same
+// function stays reported.
+func TestTransfersDirectiveScope(t *testing.T) {
+	const src = `package snippet
+
+import "github.com/sitstats/sits/internal/mem"
+
+type sink struct {
+	a, b *mem.Grant
+}
+
+func two(gov *mem.Governor) *sink {
+	a := gov.Grant("a")
+	b := gov.Grant("b")
+	s := &sink{}
+	//statcheck:transfers a sink drains a
+	s.a = a
+	s.b = b
+	return s
+}
+`
+	diags := runGrantLeak(loadSnippet(t, src))
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the undeclared hand-off reported, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `"b"`) {
+		t.Errorf("surviving finding should name b: %s", diags[0].Message)
+	}
+}

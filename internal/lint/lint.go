@@ -7,14 +7,19 @@
 //   - bit-identical SIT streams at any parallelism (no map-iteration-order
 //     dependent output, no wall-clock or global-randomness inputs),
 //   - zero per-row allocation in the batch executor's hot paths,
-//   - per-worker scratch isolation across the worker-pool fan-outs.
+//   - per-worker scratch isolation across the worker-pool fan-outs,
+//   - resource lifecycles under the shared memory Governor: grants,
+//     reservations, and operator plans released on every path (grantleak,
+//     planclose — built on the cfg.go/dataflow.go flow-sensitive layer),
+//     atomically-accessed fields never touched plainly (atomicmix), and no
+//     pool task blocking on the pool (poolblock).
 //
 // The engine loads every package of the module, type-checks it with a source
 // importer, and runs a registry of checks that emit file:line diagnostics.
 //
 // # Annotation grammar
 //
-// Three comment directives steer the checks:
+// Four comment directives steer the checks:
 //
 //	//statcheck:hot                       — marks a function as a hot path:
 //	                                        the hotalloc check forbids
@@ -28,10 +33,18 @@
 //	                                        check(s). A trailing comment covers
 //	                                        its own line; a comment alone on a
 //	                                        line covers the line directly below.
+//	//statcheck:transfers <var>[,<var>] [reason]
+//	                                      — declares that the covered statement
+//	                                        hands ownership of the named
+//	                                        variables' resources elsewhere (a
+//	                                        spill job, a long-lived struct):
+//	                                        the lifecycle checks stop demanding
+//	                                        a close on this function's paths.
+//	                                        Positional like ignore.
 //
-// hot and scratch attach to the declaration they document; ignore is
-// positional and suppresses only findings at its own location, so every
-// suppression is visible next to the code it excuses.
+// hot and scratch attach to the declaration they document; ignore and
+// transfers are positional and apply only at their own location, so every
+// suppression or hand-off is visible next to the code it excuses.
 package lint
 
 import (
@@ -68,6 +81,10 @@ func AllChecks() []Check {
 		checkRawRand(),
 		checkScratchShare(),
 		checkDroppedErr(),
+		checkGrantLeak(),
+		checkPlanClose(),
+		checkAtomicMix(),
+		checkPoolBlock(),
 	}
 }
 

@@ -41,6 +41,10 @@ func fixtures(w *World) map[string]string {
 		"scratchfix":    w.ModulePath + "/lintfixture/scratchfix",
 		"droppederrfix": w.ModulePath + "/lintfixture/droppederrfix",
 		"ignorefix":     w.ModulePath + "/lintfixture/ignorefix",
+		"grantleakfix":  w.ModulePath + "/lintfixture/grantleakfix",
+		"planclosefix":  w.ModulePath + "/lintfixture/planclosefix",
+		"atomicmixfix":  w.ModulePath + "/lintfixture/atomicmixfix",
+		"poolblockfix":  w.ModulePath + "/lintfixture/poolblockfix",
 	}
 }
 
@@ -151,8 +155,8 @@ func TestCheckSelection(t *testing.T) {
 		}
 		seen[c.Name] = true
 	}
-	if len(seen) < 5 {
-		t.Errorf("expected at least 5 registered checks, got %d", len(seen))
+	if len(seen) < 9 {
+		t.Errorf("expected at least 9 registered checks, got %d", len(seen))
 	}
 }
 

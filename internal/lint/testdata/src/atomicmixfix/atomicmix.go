@@ -1,0 +1,62 @@
+// Package atomicmixfix seeds atomicmix violations: fields driven through
+// sync/atomic in one place and touched plainly in another.
+package atomicmixfix
+
+import "sync/atomic"
+
+// counter mixes an atomically-driven field (n) with a plain one (hits).
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) snapshot() int64 {
+	return atomic.LoadInt64(&c.n) // clean: atomic read
+}
+
+func (c *counter) badRead() int64 {
+	return c.n // want atomicmix
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want atomicmix
+}
+
+func (c *counter) plainField() int64 {
+	return c.hits // clean: hits is never touched atomically
+}
+
+func newCounter() *counter {
+	return &counter{n: 0, hits: 0} // clean: keyed init before publication
+}
+
+// epoch is a package-level variable driven by CAS.
+var epoch uint64
+
+func bumpEpoch() {
+	for {
+		old := atomic.LoadUint64(&epoch)
+		if atomic.CompareAndSwapUint64(&epoch, old, old+1) {
+			return
+		}
+	}
+}
+
+func badEpochPeek() uint64 {
+	return epoch // want atomicmix
+}
+
+// box holds an atomic value type; whole-value overwrite bypasses it.
+type box struct {
+	v atomic.Int64
+}
+
+func (b *box) load() int64 { return b.v.Load() } // clean: method access
+
+func reset(b *box) {
+	b.v = atomic.Int64{} // want atomicmix
+}

@@ -1,0 +1,138 @@
+// Package planclosefix seeds planclose violations. The plan type is
+// declared locally with a ClosePlan method — the check matches the
+// exec.PlanCloser shape structurally, so the fixture proves it needs no
+// import of internal/exec.
+package planclosefix
+
+import "errors"
+
+// rows is a stand-in operator tree satisfying the PlanCloser shape.
+type rows struct {
+	closed bool
+}
+
+func (r *rows) ClosePlan() { r.closed = true }
+func (r *rows) Next() bool { return false }
+func (r *rows) use()       {}
+
+// ClosePlan mirrors exec.ClosePlan: the free-function close protocol.
+func ClosePlan(op interface{ ClosePlan() }) {
+	if op != nil {
+		op.ClosePlan()
+	}
+}
+
+type catalog struct{}
+
+// PlanBatch mirrors exec.PlanBatch by name.
+func PlanBatch(c *catalog) (*rows, error) {
+	if c == nil {
+		return nil, errors.New("no catalog")
+	}
+	return &rows{}, nil
+}
+
+// open returns a PlanCloser-shaped value plus an error.
+func open(fail bool) (*rows, error) {
+	if fail {
+		return nil, errors.New("boom")
+	}
+	return &rows{}, nil
+}
+
+// newRows is a single-result constructor.
+func newRows() *rows { return &rows{} }
+
+// leakBetweenOpenAndClose is the PR-8 shape: an error return between
+// PlanBatch and ClosePlan strands the plan (and the grant bytes its
+// constructors reserved).
+func leakBetweenOpenAndClose(c *catalog, validate func() error) error {
+	op, err := PlanBatch(c) // want planclose
+	if err != nil {
+		return err
+	}
+	if err := validate(); err != nil {
+		return err
+	}
+	ClosePlan(op)
+	return nil
+}
+
+// deferredClose is the fixed shape: defer immediately after the error
+// check covers every later path. Clean.
+func deferredClose(c *catalog, validate func() error) error {
+	op, err := PlanBatch(c)
+	if err != nil {
+		return err
+	}
+	defer ClosePlan(op)
+	return validate()
+}
+
+// errPathOnly proves the error-branch kill: on err != nil the plan is nil
+// and there is nothing to close. Clean.
+func errPathOnly(fail bool) error {
+	r, err := open(fail)
+	if err != nil {
+		return err
+	}
+	r.ClosePlan()
+	return nil
+}
+
+// methodClose closes via the method form. Clean.
+func methodClose() {
+	r := newRows()
+	r.ClosePlan()
+}
+
+// leakPlainConstructor: single-result constructor, no close on any path.
+func leakPlainConstructor() bool {
+	r := newRows() // want planclose
+	return r.Next()
+}
+
+// returned hands the plan to the caller: ownership leaves with it. Clean.
+func returned(fail bool) (*rows, error) {
+	r, err := open(fail)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// discarded drops the constructed plan on the floor at statement position.
+func discarded() {
+	newRows() // want planclose
+}
+
+// nilChecked proves the nil-branch kill on the resource itself. Clean.
+func nilChecked() {
+	r := newRows()
+	if r == nil {
+		return
+	}
+	r.ClosePlan()
+}
+
+// loopReopen rebinds the plan each iteration and closes inside the loop;
+// the back edge carries no open fact. Clean.
+func loopReopen(n int) {
+	for i := 0; i < n; i++ {
+		r := newRows()
+		r.use()
+		r.ClosePlan()
+	}
+}
+
+// loopLeakOnBreak closes after the loop but breaks out early past a fresh
+// open in a nested branch.
+func loopLeakOnBreak(n int) {
+	for i := 0; i < n; i++ {
+		r := newRows() // want planclose
+		if r.Next() {
+			break // leak: r open on the break edge
+		}
+		r.ClosePlan()
+	}
+}
