@@ -2,15 +2,23 @@
 // requests and reports latency percentiles and the cache hit ratio:
 //
 //	sitload -url http://localhost:8642 -n 5000 -c 1000 [-seed 1] \
-//	        [-domain 2000] [-quantum 250] [-json BENCH_serve.json]
+//	        [-workload mix] [-domain 2000] [-quantum 250] [-json BENCH_serve.json]
 //
-// The workload is a seeded random mix of chain-join SPJ queries (the shapes
-// of the default synthetic chain database) with range predicates quantized
-// to -quantum, so a bounded key population repeats and exercises the
-// estimate cache; -quantum 1 makes almost every request distinct. Latencies
-// are reported overall and split by cache hit/miss, so the cache's speedup
-// is directly visible. With -json the summary is also written as a JSON
-// benchmark artifact.
+// Two workloads:
+//
+//   - mix (default): a seeded random mix of chain-join SPJ queries (the
+//     shapes of the default synthetic chain database) with range predicates
+//     quantized to -quantum, so a bounded key population repeats and
+//     exercises the estimate result cache; -quantum 1 makes almost every
+//     request distinct.
+//   - plans: the same fixed expression set with unquantized constants, so
+//     nearly every request misses the result cache but re-probes the shape's
+//     cached plan — the plan-cache steady state. The summary reports the
+//     plan-hit/result-hit/cold split and per-tier server-side estimate time,
+//     including the plan-vs-cold speedup the tier exists for.
+//
+// Latencies are reported overall and split by serving tier. With -json the
+// summary is also written as a JSON benchmark artifact.
 package main
 
 import (
@@ -87,7 +95,7 @@ func genRequest(rng *rand.Rand, base string, templates []template, quantum int64
 type sample struct {
 	ms       float64 // end-to-end latency
 	serverUS float64 // server-side estimate time (cache probe or computation)
-	cached   bool
+	tier     string  // serving tier: "result-hit", "plan-hit", or "cold"
 	err      error
 }
 
@@ -113,6 +121,20 @@ type result struct {
 	MissComputeP50US float64 `json:"miss_compute_p50_us"`
 	MissComputeP99US float64 `json:"miss_compute_p99_us"`
 	ComputeSpeedup   float64 `json:"compute_speedup"`
+	// Per-tier split: how many requests each serving tier answered and its
+	// server-side estimate time. PlanSpeedup is cold p50 over plan-hit p50 —
+	// the compute the prepare/execute split saves once a shape's plan is
+	// cached.
+	ResultHits     int     `json:"result_hits"`
+	PlanHits       int     `json:"plan_hits"`
+	Cold           int     `json:"cold"`
+	ResultHitP50US float64 `json:"result_hit_p50_us"`
+	ResultHitP99US float64 `json:"result_hit_p99_us"`
+	PlanHitP50US   float64 `json:"plan_hit_p50_us"`
+	PlanHitP99US   float64 `json:"plan_hit_p99_us"`
+	ColdP50US      float64 `json:"cold_p50_us"`
+	ColdP99US      float64 `json:"cold_p99_us"`
+	PlanSpeedup    float64 `json:"plan_speedup"`
 }
 
 func main() {
@@ -121,24 +143,34 @@ func main() {
 		n        = flag.Int("n", 5000, "total requests")
 		c        = flag.Int("c", 1000, "concurrent requests in flight")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		workload = flag.String("workload", "mix", `workload shape: "mix" (quantized constants, result-cache heavy) or "plans" (fixed expressions, fresh constants each request — plan-cache heavy)`)
 		domain   = flag.Int64("domain", 2000, "predicate value domain (the chain DB join domain)")
 		quantum  = flag.Int64("quantum", 250, "predicate range granularity; smaller = more distinct queries, fewer cache hits")
 		jsonPath = flag.String("json", "", "also write the summary to this JSON file")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
 	flag.Parse()
-	if err := run(*baseURL, *n, *c, *seed, *domain, *quantum, *jsonPath, *timeout); err != nil {
+	if err := run(*baseURL, *workload, *n, *c, *seed, *domain, *quantum, *jsonPath, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sitload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baseURL string, n, c int, seed, domain, quantum int64, jsonPath string, timeout time.Duration) error {
+func run(baseURL, workload string, n, c int, seed, domain, quantum int64, jsonPath string, timeout time.Duration) error {
 	if n <= 0 || c <= 0 {
 		return fmt.Errorf("-n and -c must be positive")
 	}
 	if quantum <= 0 || domain <= 0 || quantum > domain {
 		return fmt.Errorf("need 0 < -quantum <= -domain")
+	}
+	switch workload {
+	case "mix":
+	case "plans":
+		// Fixed expression set, fresh constants every request: nearly every
+		// request misses the result cache and executes the shape's plan.
+		quantum = 1
+	default:
+		return fmt.Errorf("unknown -workload %q (want mix or plans)", workload)
 	}
 	if c > n {
 		c = n
@@ -184,6 +216,18 @@ func run(baseURL string, n, c int, seed, domain, quantum int64, jsonPath string,
 	fmt.Printf("  misses   p50 %8.3fms  p99 %8.3fms\n", res.MissP50MS, res.MissP99MS)
 	fmt.Printf("server estimate time: hit p50 %.1fus, miss p50 %.1fus (%.1fx speedup from cache)\n",
 		res.HitComputeP50US, res.MissComputeP50US, res.ComputeSpeedup)
+	fmt.Printf("tiers: %d result-hit / %d plan-hit / %d cold\n", res.ResultHits, res.PlanHits, res.Cold)
+	fmt.Printf("  result-hit p50 %8.1fus  p99 %8.1fus\n", res.ResultHitP50US, res.ResultHitP99US)
+	fmt.Printf("  plan-hit   p50 %8.1fus  p99 %8.1fus\n", res.PlanHitP50US, res.PlanHitP99US)
+	fmt.Printf("  cold       p50 %8.1fus  p99 %8.1fus\n", res.ColdP50US, res.ColdP99US)
+	if workload == "plans" {
+		verdict := "PASS"
+		if res.PlanSpeedup < 3 {
+			verdict = "FAIL"
+		}
+		fmt.Printf("acceptance: plan-hit p50 %.1fus vs cold p50 %.1fus — %.1fx speedup (want >= 3x): %s\n",
+			res.PlanHitP50US, res.ColdP50US, res.PlanSpeedup, verdict)
+	}
 	for _, s := range samples {
 		if s.err != nil {
 			fmt.Fprintln(os.Stderr, "sitload: first error:", s.err)
@@ -234,6 +278,7 @@ func one(client *http.Client, target string) sample {
 	}
 	var body struct {
 		Cached     bool    `json:"cached"`
+		Tier       string  `json:"tier"`
 		EstimateUS float64 `json:"estimate_us"`
 		Error      string  `json:"error"`
 	}
@@ -247,11 +292,23 @@ func one(client *http.Client, target string) sample {
 	case decErr != nil:
 		return sample{ms: ms, err: fmt.Errorf("%s: decoding response: %v", target, decErr)}
 	}
-	return sample{ms: ms, serverUS: body.EstimateUS, cached: body.Cached}
+	// Pre-tier daemons only report the cached bool; fold it into the tiers.
+	tier := body.Tier
+	if tier == "" {
+		if body.Cached {
+			tier = "result-hit"
+		} else {
+			tier = "cold"
+		}
+	}
+	return sample{ms: ms, serverUS: body.EstimateUS, tier: tier}
 }
 
 func summarize(samples []sample, c int, elapsed time.Duration) result {
+	// The legacy hit/miss split folds the tiers in two: a "hit" is a
+	// result-cache hit, a "miss" is anything that computed (plan-hit or cold).
 	var all, hits, misses, hitUS, missUS []float64
+	var resultUS, planUS, coldUS []float64
 	res := result{Requests: len(samples), Concurrency: c}
 	for _, s := range samples {
 		if s.err != nil {
@@ -259,12 +316,22 @@ func summarize(samples []sample, c int, elapsed time.Duration) result {
 			continue
 		}
 		all = append(all, s.ms)
-		if s.cached {
+		switch s.tier {
+		case "result-hit":
+			res.ResultHits++
 			hits = append(hits, s.ms)
 			hitUS = append(hitUS, s.serverUS)
-		} else {
+			resultUS = append(resultUS, s.serverUS)
+		case "plan-hit":
+			res.PlanHits++
 			misses = append(misses, s.ms)
 			missUS = append(missUS, s.serverUS)
+			planUS = append(planUS, s.serverUS)
+		default:
+			res.Cold++
+			misses = append(misses, s.ms)
+			missUS = append(missUS, s.serverUS)
+			coldUS = append(coldUS, s.serverUS)
 		}
 	}
 	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
@@ -281,6 +348,12 @@ func summarize(samples []sample, c int, elapsed time.Duration) result {
 	res.MissComputeP50US, res.MissComputeP99US = percentile(missUS, 50), percentile(missUS, 99)
 	if res.HitComputeP50US > 0 {
 		res.ComputeSpeedup = res.MissComputeP50US / res.HitComputeP50US
+	}
+	res.ResultHitP50US, res.ResultHitP99US = percentile(resultUS, 50), percentile(resultUS, 99)
+	res.PlanHitP50US, res.PlanHitP99US = percentile(planUS, 50), percentile(planUS, 99)
+	res.ColdP50US, res.ColdP99US = percentile(coldUS, 50), percentile(coldUS, 99)
+	if res.PlanHitP50US > 0 {
+		res.PlanSpeedup = res.ColdP50US / res.PlanHitP50US
 	}
 	return res
 }

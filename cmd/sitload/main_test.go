@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -45,9 +48,9 @@ func TestPercentile(t *testing.T) {
 
 func TestSummarize(t *testing.T) {
 	samples := []sample{
-		{ms: 1, serverUS: 4, cached: true},
-		{ms: 2, serverUS: 6, cached: true},
-		{ms: 10, serverUS: 100},
+		{ms: 1, serverUS: 4, tier: "result-hit"},
+		{ms: 2, serverUS: 6, tier: "result-hit"},
+		{ms: 10, serverUS: 100, tier: "cold"},
 		{err: http.ErrHandlerTimeout},
 	}
 	res := summarize(samples, 2, time.Second)
@@ -65,6 +68,32 @@ func TestSummarize(t *testing.T) {
 	}
 	if res.ComputeSpeedup != 25 {
 		t.Fatalf("compute speedup %v, want 25", res.ComputeSpeedup)
+	}
+	if res.ResultHits != 2 || res.PlanHits != 0 || res.Cold != 1 {
+		t.Fatalf("tier split %+v, want 2/0/1", res)
+	}
+}
+
+func TestSummarizeTiers(t *testing.T) {
+	samples := []sample{
+		{ms: 1, serverUS: 2, tier: "result-hit"},
+		{ms: 2, serverUS: 10, tier: "plan-hit"},
+		{ms: 2, serverUS: 12, tier: "plan-hit"},
+		{ms: 10, serverUS: 60, tier: "cold"},
+	}
+	res := summarize(samples, 1, time.Second)
+	if res.ResultHits != 1 || res.PlanHits != 2 || res.Cold != 1 {
+		t.Fatalf("tier split %+v, want 1/2/1", res)
+	}
+	if res.PlanHitP50US != 10 || res.ColdP50US != 60 {
+		t.Fatalf("tier percentiles %+v", res)
+	}
+	if res.PlanSpeedup != 6 {
+		t.Fatalf("plan speedup %v, want 6", res.PlanSpeedup)
+	}
+	// Plan hits computed, so they fold into the legacy miss bucket.
+	if res.HitRatio != 0.25 || res.MissComputeP50US != 12 {
+		t.Fatalf("legacy split %+v", res)
 	}
 }
 
@@ -94,10 +123,70 @@ func TestRunAgainstStub(t *testing.T) {
 	defer srv.Close()
 
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(srv.URL, 300, 50, 1, 2000, 500, out, 10*time.Second); err != nil {
+	if err := run(srv.URL, "mix", 300, 50, 1, 2000, 500, out, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := filepath.Glob(out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunPlansWorkload drives the plans workload against a stub that mimics
+// the three-tier daemon: first sight of a shape is cold, repeats of the
+// exact query are result hits, new constants over a seen shape are plan
+// hits. The summary must carry the tier split and speedup.
+func TestRunPlansWorkload(t *testing.T) {
+	var mu sync.Mutex
+	seenShape := map[string]bool{}
+	seenExact := map[string]bool{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		shape := r.URL.Query().Get("query")
+		exact := r.URL.RawQuery
+		mu.Lock()
+		tier := "cold"
+		switch {
+		case seenExact[exact]:
+			tier = "result-hit"
+		case seenShape[shape]:
+			tier = "plan-hit"
+		}
+		seenShape[shape], seenExact[exact] = true, true
+		mu.Unlock()
+		us := map[string]string{"cold": "100", "plan-hit": "10", "result-hit": "2"}[tier]
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"cardinality": 1, "tier": "` + tier + `", "cached": ` +
+			strconv.FormatBool(tier == "result-hit") + `, "estimate_us": ` + us + `}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(srv.URL, "plans", 200, 20, 1, 2000, 250, out, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold == 0 || res.PlanHits == 0 {
+		t.Fatalf("tier split %+v: plans workload produced no cold or no plan-hit samples", res)
+	}
+	if res.PlanHits < res.Cold {
+		t.Fatalf("tier split %+v: plans workload should be plan-hit heavy", res)
+	}
+	if res.PlanSpeedup != 10 {
+		t.Fatalf("plan speedup %v, want 10 from the stub's timings", res.PlanSpeedup)
+	}
+
+	if err := run(srv.URL, "bogus", 1, 1, 1, 2000, 250, "", time.Second); err == nil {
+		t.Fatal("unknown workload must fail")
 	}
 }

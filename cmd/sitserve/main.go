@@ -51,21 +51,23 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "exec pool width for builds (0 = all CPUs, 1 = serial)")
 		batch     = flag.Int("batch", 0, "executor rows per batch (0 = adaptive)")
 		spillOn   = flag.Bool("spill-compress", true, "spill block-compressed SRN2 runs beyond the budget")
-		cacheSize = flag.Int("cache", 0, "estimate cache entries (0 = default, negative = disabled)")
+		cacheSize = flag.Int("cache", 0, "estimate result-cache entries (0 = default, negative = disabled)")
+		planSize  = flag.Int("plan-cache", 0, "prepared-plan cache entries (0 = default, negative = disabled)")
+		shedQueue = flag.Int("shed-queue", 64, "cold requests queued on the builder before /estimate sheds with 429 under budget pressure (0 = never shed)")
 		refresh   = flag.Duration("refresh", 0, "background staleness sweep interval (0 = disabled)")
 		threshold = flag.Float64("stale-threshold", 0.2, "relative base-table growth that triggers a SIT rebuild")
 		seed      = flag.Int64("seed", 1, "random seed for sampling builds")
 	)
 	flag.Parse()
 	if err := run(*addr, *csvDir, *segDir, *tables, *sitsFile, *builds, *method,
-		*memFlag, *parallel, *batch, *spillOn, *cacheSize, *refresh, *threshold, *seed); err != nil {
+		*memFlag, *parallel, *batch, *spillOn, *cacheSize, *planSize, *shedQueue, *refresh, *threshold, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sitserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, csvDir, segDir, tables, sitsFile, builds, methodName,
-	memFlag string, parallel, batch int, spillOn bool, cacheSize int,
+	memFlag string, parallel, batch int, spillOn bool, cacheSize, planSize, shedQueue int,
 	refresh time.Duration, threshold float64, seed int64) error {
 	cat, err := loadCatalog(csvDir, segDir, tables)
 	if err != nil {
@@ -121,7 +123,11 @@ func run(addr, csvDir, segDir, tables, sitsFile, builds, methodName,
 		}
 	}
 
-	svc, err := sits.NewService(reg, sits.ServeConfig{CacheEntries: cacheSize})
+	svc, err := sits.NewService(reg, sits.ServeConfig{
+		CacheEntries:     cacheSize,
+		PlanCacheEntries: planSize,
+		ShedQueue:        shedQueue,
+	})
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -52,15 +53,21 @@ type predBody struct {
 }
 
 // estimateResponse mirrors sits.Estimate with provenance flattened for
-// clients, plus whether the answer came from the estimate cache.
+// clients, plus which serving tier answered.
 type estimateResponse struct {
 	Cardinality float64          `json:"cardinality"`
 	JoinCard    float64          `json:"join_cardinality"`
 	JoinStat    string           `json:"join_stat"`
 	Sources     []sourceResponse `json:"sources,omitempty"`
-	Cached      bool             `json:"cached"`
+	// Tier is the serving tier that answered: "result-hit" (estimate cache),
+	// "plan-hit" (cached plan re-probed with this request's constants), or
+	// "cold" (full preparation under the builder lock). Cached preserves the
+	// pre-tier client field: it is true exactly for result-hit.
+	Tier   string `json:"tier"`
+	Cached bool   `json:"cached"`
 	// EstimateUS is the server-side time spent answering (microseconds):
-	// a cache probe for hits, the full estimation for misses.
+	// a cache probe for result hits, histogram probing for plan hits, the
+	// full estimation for cold requests.
 	EstimateUS float64 `json:"estimate_us"`
 }
 
@@ -107,8 +114,16 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		q.Preds = append(q.Preds, sits.Predicate{Table: p.Table, Attr: p.Attr, Lo: p.Lo, Hi: p.Hi})
 	}
 	t0 := now()
-	est, cached, err := s.svc.Estimate(q)
+	est, tier, err := s.svc.Estimate(q)
 	if err != nil {
+		if errors.Is(err, sits.ErrOverloaded) {
+			// Shed: the builder queue is full under budget pressure. 429 with
+			// a Retry-After tells well-behaved clients to back off instead of
+			// hammering the queue they just got rejected from.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -116,7 +131,8 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Cardinality: est.Cardinality,
 		JoinCard:    est.JoinCard,
 		JoinStat:    est.JoinStat,
-		Cached:      cached,
+		Tier:        tier.String(),
+		Cached:      tier == sits.TierResult,
 		EstimateUS:  float64(now().Sub(t0)) / float64(time.Microsecond),
 	}
 	for _, src := range est.Sources {

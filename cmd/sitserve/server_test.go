@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/sitstats/sits"
 )
@@ -76,19 +79,26 @@ func TestServerEstimate(t *testing.T) {
 	if first.Cardinality <= 0 {
 		t.Fatalf("cardinality %v, want > 0", first.Cardinality)
 	}
-	if first.Cached {
-		t.Fatal("cold request reported cached")
+	if first.Cached || first.Tier != "cold" {
+		t.Fatalf("cold request reported cached=%v tier=%q", first.Cached, first.Tier)
 	}
 	if len(first.Sources) != 1 || !strings.Contains(first.Sources[0].Stat, "SIT") {
 		t.Fatalf("sources %+v, want one SIT-backed predicate", first.Sources)
 	}
 
 	getJSON(t, h, http.MethodGet, estimateURL("T2.a:0:900"), "", http.StatusOK, &second)
-	if !second.Cached {
-		t.Fatal("repeat request missed the cache")
+	if !second.Cached || second.Tier != "result-hit" {
+		t.Fatalf("repeat request reported cached=%v tier=%q", second.Cached, second.Tier)
 	}
 	if second.Cardinality != first.Cardinality || second.JoinCard != first.JoinCard {
 		t.Fatalf("cached answer differs: %+v vs %+v", second, first)
+	}
+
+	// New constants over the same shape re-probe the cached plan.
+	var planned estimateResponse
+	getJSON(t, h, http.MethodGet, estimateURL("T2.a:10:910"), "", http.StatusOK, &planned)
+	if planned.Cached || planned.Tier != "plan-hit" {
+		t.Fatalf("shifted constants reported cached=%v tier=%q, want plan-hit", planned.Cached, planned.Tier)
 	}
 
 	// The POST body form answers identically and shares the cache entry.
@@ -155,5 +165,108 @@ func TestServerStatsAndRefresh(t *testing.T) {
 	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rr.Code != http.StatusOK || rr.Body.String() != "ok\n" {
 		t.Fatalf("healthz: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestServerOverload floods a budget-starved server whose builder is held:
+// cold requests past the queue bound must shed with 429 + Retry-After, the
+// liveness probe must stay green throughout, and once the builder frees the
+// queued request completes and no request goroutines are left behind.
+func TestServerOverload(t *testing.T) {
+	cat, err := sits.GenerateChainDB(sits.DefaultChainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sits.DefaultConfig()
+	cfg.MemBudget = 1 // the governor can never admit a build probe
+	reg, err := sits.NewRegistry(cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := reg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	svc, err := sits.NewService(reg, sits.ServeConfig{ShedQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(svc, 0.2)
+	baseline := runtime.NumGoroutine()
+
+	// Hold the builder so cold requests pile up behind it.
+	release := make(chan struct{})
+	held := make(chan struct{})
+	builderDone := make(chan error, 1)
+	go func() {
+		builderDone <- reg.WithBuilder(func(*sits.Builder) error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+
+	// One request queues on the held builder; it must eventually succeed.
+	queuedDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, estimateURL("T2.a:0:900"), nil))
+		queuedDone <- rr
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued on the builder")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Flood with distinct cold queries: every one sheds with a backoff hint,
+	// and liveness never degrades.
+	const flood = 32
+	for i := 0; i < flood; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, estimateURL(fmt.Sprintf("T2.a:0:%d", 100+i)), nil))
+		if rr.Code != http.StatusTooManyRequests {
+			t.Fatalf("flood request %d: status %d (body %s), want 429", i, rr.Code, rr.Body.String())
+		}
+		if rr.Header().Get("Retry-After") == "" {
+			t.Fatalf("flood request %d: 429 without Retry-After", i)
+		}
+		health := httptest.NewRecorder()
+		h.ServeHTTP(health, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		if health.Code != http.StatusOK {
+			t.Fatalf("healthz degraded to %d mid-flood", health.Code)
+		}
+	}
+	var stats sits.ServeStats
+	getJSON(t, h, http.MethodGet, "/stats", "", http.StatusOK, &stats)
+	if stats.Sheds != flood || stats.Queued != 1 {
+		t.Fatalf("stats %+v, want %d sheds and 1 queued", stats, flood)
+	}
+
+	// Free the builder: the queued request completes, nothing leaks.
+	close(release)
+	if err := <-builderDone; err != nil {
+		t.Fatal(err)
+	}
+	rr := <-queuedDone
+	if rr.Code != http.StatusOK {
+		t.Fatalf("queued request: status %d (body %s), want 200", rr.Code, rr.Body.String())
+	}
+	var est estimateResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Tier != "cold" || est.Cardinality <= 0 {
+		t.Fatalf("queued request answered tier=%q cardinality=%v", est.Tier, est.Cardinality)
+	}
+	for deadline = time.Now().Add(5 * time.Second); runtime.NumGoroutine() > baseline+2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after the flood", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

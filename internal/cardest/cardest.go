@@ -110,6 +110,11 @@ func (e *Estimator) Registered() int {
 // the registered SIT over the predicate's attribute whose expression is the
 // largest sub-expression of the query — falling back to the attribute's
 // base-table histogram (the traditional estimation of Section 2.1).
+//
+// Estimate is the one-shot composition of the two-phase API: it prepares a
+// plan for the query's shape and executes it with the query's constants, so
+// its answers are bit-identical to a cached plan probed with the same
+// constants.
 func (e *Estimator) Estimate(q SPJQuery) (Estimate, error) {
 	if q.Expr == nil {
 		return Estimate{}, fmt.Errorf("cardest: query needs a join expression")
@@ -122,87 +127,11 @@ func (e *Estimator) Estimate(q SPJQuery) (Estimate, error) {
 			return Estimate{}, fmt.Errorf("cardest: predicate %q has an empty range", p.String())
 		}
 	}
-	out := Estimate{}
-
-	// Join cardinality: prefer any SIT over the exact expression.
-	if matches := e.sits[q.Expr.Canonical()]; len(matches) > 0 {
-		out.JoinCard = matches[0].EstimatedCard
-		out.JoinStat = matches[0].Spec.String()
-	} else {
-		card, err := e.b.EstimateJoinCard(q.Expr)
-		if err != nil {
-			return Estimate{}, err
-		}
-		out.JoinCard = card
-		out.JoinStat = "base-histogram propagation"
-	}
-
-	out.Cardinality = out.JoinCard
-	for _, p := range q.Preds {
-		src, err := e.selectivity(q, p)
-		if err != nil {
-			return Estimate{}, err
-		}
-		out.Sources = append(out.Sources, src)
-		out.Cardinality *= src.Selectivity
-	}
-	return out, nil
-}
-
-// selectivity finds the most specific statistic for the predicate.
-func (e *Estimator) selectivity(q SPJQuery, p Predicate) (PredSource, error) {
-	qPreds := predSet(q.Expr)
-	// Candidate expressions are scanned in sorted canonical order so that a
-	// tie on specificity (two applicable SITs over the same number of tables)
-	// always resolves to the same statistic: repeated Estimate calls — and a
-	// serving cache comparing hits against recomputation — see bit-identical
-	// results regardless of map iteration order.
-	keys := make([]string, 0, len(e.sits))
-	for k := range e.sits {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var best *sit.SIT
-	for _, k := range keys {
-		for _, s := range e.sits[k] {
-			if s.Spec.Table != p.Table || s.Spec.Attr != p.Attr {
-				continue
-			}
-			if !isSubExpression(s.Spec.Expr, q.Expr, qPreds) {
-				continue
-			}
-			if best == nil || s.Spec.Expr.NumTables() > best.Spec.Expr.NumTables() {
-				best = s
-			}
-		}
-	}
-	if best != nil {
-		total := best.Hist.TotalFreq()
-		sel := 1.0
-		if total > 0 {
-			sel = best.Hist.EstimateRange(p.Lo, p.Hi) / total
-		}
-		return PredSource{
-			Pred:        p,
-			Stat:        best.Spec.String(),
-			Tables:      best.Spec.Expr.NumTables(),
-			Selectivity: clampSel(sel),
-		}, nil
-	}
-	h, err := e.b.BaseHistogram(p.Table, p.Attr)
+	plan, err := e.Prepare(q.Expr, Columns(q.Preds))
 	if err != nil {
-		return PredSource{}, err
+		return Estimate{}, err
 	}
-	sel := 1.0
-	if total := h.TotalFreq(); total > 0 {
-		sel = h.EstimateRange(p.Lo, p.Hi) / total
-	}
-	return PredSource{
-		Pred:        p,
-		Stat:        fmt.Sprintf("base histogram %s.%s", p.Table, p.Attr),
-		Tables:      1,
-		Selectivity: clampSel(sel),
-	}, nil
+	return plan.Execute(q.Preds)
 }
 
 func clampSel(s float64) float64 {

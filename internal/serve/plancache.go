@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sitstats/sits/internal/cardest"
+)
+
+// planCache is a bounded LRU map from query shape keys to prepared estimator
+// plans. Unlike the result cache — whose keys embed every input so stale
+// entries are simply stranded — the plan cache keeps at most one plan per
+// shape and validates it on lookup against the pin it was prepared under
+// (the registry's per-table data and SIT-set generations). A pin mismatch
+// means some table the plan resolved statistics over changed: the entry is
+// evicted on the spot and the caller re-prepares. Eviction is therefore
+// exact — a publish or mutation kills precisely the plans that pinned the
+// affected tables, and plans over untouched tables keep hitting across
+// epoch bumps.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	// evictions counts entries removed for any reason other than
+	// replacement: stale-pin invalidations and LRU capacity evictions.
+	evictions atomic.Int64
+}
+
+// planEntry is one resident prepared plan.
+type planEntry struct {
+	shape string
+	pin   string
+	plan  *cardest.EstimatorPlan
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached plan for the shape if its pin still matches,
+// promoting it to most recently used. A resident plan with a stale pin is
+// evicted and reported as a miss.
+func (c *planCache) get(shape, pin string) (*cardest.EstimatorPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[shape]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*planEntry)
+	if e.pin != pin {
+		c.order.Remove(el)
+		delete(c.entries, shape)
+		c.evictions.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e.plan, true
+}
+
+// put inserts or replaces the plan for the shape, evicting from the LRU tail
+// past the size bound.
+func (c *planCache) put(shape, pin string, plan *cardest.EstimatorPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[shape]; ok {
+		e := el.Value.(*planEntry)
+		e.pin, e.plan = pin, plan
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[shape] = c.order.PushFront(&planEntry{shape: shape, pin: pin, plan: plan})
+	for len(c.entries) > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*planEntry).shape)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the resident plan count.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// evicted returns the cumulative stale-pin + LRU eviction count.
+func (c *planCache) evicted() int64 { return c.evictions.Load() }

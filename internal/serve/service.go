@@ -1,15 +1,32 @@
 // Package serve is the serving layer of the statistics service: it answers
-// SPJ cardinality-estimation requests from a sit.Registry's served SIT set,
-// fronted by a bounded LRU cache keyed on the canonical form of the query
-// expression. Cache hits are answered without touching the builder at all;
-// misses serialize through the registry's single-threaded build machinery
-// (whose base-histogram fallback mutates builder caches) and publish their
-// result for every later identical request. Keys embed the registry epoch
-// and the base tables' generation counters, so a SIT refresh or a table
-// mutation strands stale entries instead of serving them.
+// SPJ cardinality-estimation requests from a sit.Registry's served SIT set
+// through a three-tier pipeline, cheapest first:
+//
+//  1. Result cache — a bounded LRU keyed on the full request fingerprint
+//     (canonical expression, normalized predicates with constants, registry
+//     epoch, base-table generations). A hit returns the stored estimate
+//     untouched.
+//  2. Plan cache — a bounded LRU keyed on the query *shape* (canonical
+//     expression + predicate columns, without constants). A hit executes the
+//     prepared cardest.EstimatorPlan: allocation-free histogram probes with
+//     the request's constants, no builder lock, no SIT matching. Entries are
+//     validated against the registry's per-table pin, so a refresh or
+//     mutation that did not touch a plan's tables leaves it serving across
+//     epoch bumps.
+//  3. Cold — serialize through the registry's single-threaded build
+//     machinery, prepare a fresh plan, execute it, and publish both the plan
+//     and the result for later requests.
+//
+// All three tiers are bit-identical: a result hit is the stored execute
+// output, a plan hit re-runs the exact float operations cold estimation
+// would, and preparation is deterministic. Under memory pressure the cold
+// tier sheds: when the governor cannot admit a nominal build reservation and
+// too many cold requests are already queued on the builder, Estimate fails
+// fast with ErrOverloaded instead of queueing unboundedly.
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -17,25 +34,84 @@ import (
 	"sync/atomic"
 
 	"github.com/sitstats/sits/internal/cardest"
+	"github.com/sitstats/sits/internal/mem"
 	"github.com/sitstats/sits/internal/sit"
 )
 
-// DefaultCacheEntries bounds the estimate cache when Config.CacheEntries is
-// zero. One entry holds one Estimate (a few hundred bytes), so the default
-// stays small next to any realistic SIT set.
+// DefaultCacheEntries bounds the estimate result cache when
+// Config.CacheEntries is zero. One entry holds one Estimate (a few hundred
+// bytes), so the default stays small next to any realistic SIT set.
 const DefaultCacheEntries = 4096
+
+// DefaultPlanCacheEntries bounds the plan cache when Config.PlanCacheEntries
+// is zero. Shapes are far fewer than constant combinations — one workload
+// template is one shape — so the plan cache can be much smaller than the
+// result cache.
+const DefaultPlanCacheEntries = 1024
+
+// shedProbeBytes is the nominal first reservation of an estimation-triggered
+// build. When the shared governor cannot admit even this much, every build
+// queued behind the busy builder will run fully spilled; past the queue
+// threshold the service sheds instead.
+const shedProbeBytes = 64 << 10
+
+// ErrOverloaded is returned by Estimate when the service sheds a cold
+// request under budget pressure: the governor cannot admit a nominal build
+// reservation and the cold queue is at or past Config.ShedQueue. The request
+// was not estimated; clients should retry after a backoff.
+var ErrOverloaded = errors.New("serve: overloaded, estimation shed")
+
+// Tier identifies which serving tier answered a request.
+type Tier int
+
+const (
+	// TierCold means the request serialized through the builder: the plan
+	// was prepared (SIT matching, candidate ranking) and executed.
+	TierCold Tier = iota
+	// TierPlan means a cached prepared plan was executed with the request's
+	// constants: histogram probes only, no matching, no builder lock.
+	TierPlan
+	// TierResult means the full result was served from the estimate cache.
+	TierResult
+)
+
+// String returns the tier name as reported in serving responses.
+func (t Tier) String() string {
+	switch t {
+	case TierCold:
+		return "cold"
+	case TierPlan:
+		return "plan-hit"
+	case TierResult:
+		return "result-hit"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
 
 // Config parameterizes the serving layer.
 type Config struct {
-	// CacheEntries bounds the estimate cache: 0 uses DefaultCacheEntries,
-	// a negative value disables caching (every request recomputes).
+	// CacheEntries bounds the estimate result cache: 0 uses
+	// DefaultCacheEntries, a negative value disables result caching.
 	CacheEntries int
+	// PlanCacheEntries bounds the prepared-plan cache: 0 uses
+	// DefaultPlanCacheEntries, a negative value disables plan caching
+	// (every result miss re-prepares under the builder lock).
+	PlanCacheEntries int
+	// ShedQueue enables overload shedding when positive: a cold request
+	// arriving while at least ShedQueue cold requests are already queued on
+	// the builder *and* the governor is under budget pressure fails fast
+	// with ErrOverloaded instead of queueing. 0 disables shedding (cold
+	// requests queue unboundedly, the previous behavior).
+	ShedQueue int
 }
 
 // Service answers estimation requests over a registry's served SIT set.
 type Service struct {
 	reg   *sit.Registry
-	cache *estimateCache // nil when caching is disabled
+	cfg   Config
+	cache *estimateCache // nil when result caching is disabled
+	plans *planCache     // nil when plan caching is disabled
 
 	// est is the estimator for the epoch it was built against, rebuilt
 	// lazily when the registry publishes a new epoch. It is only swapped
@@ -43,7 +119,10 @@ type Service struct {
 	// atomic so Stats can peek without taking it.
 	est atomic.Pointer[epochEstimator]
 
-	hits, misses atomic.Int64
+	hits, misses atomic.Int64 // result-cache hits / cold estimations
+	planHits     atomic.Int64 // plan-cache hits (result-cache misses)
+	sheds        atomic.Int64 // cold requests rejected with ErrOverloaded
+	queued       atomic.Int64 // cold requests currently queued on the builder
 }
 
 // epochEstimator pins an estimator to the registry epoch whose SIT set it
@@ -58,12 +137,21 @@ func NewService(reg *sit.Registry, cfg Config) (*Service, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("serve: NewService needs a registry")
 	}
-	s := &Service{reg: reg}
+	if cfg.ShedQueue < 0 {
+		return nil, fmt.Errorf("serve: shed queue depth %d must be >= 0 (0 = no shedding)", cfg.ShedQueue)
+	}
+	s := &Service{reg: reg, cfg: cfg}
 	switch {
 	case cfg.CacheEntries == 0:
 		s.cache = newEstimateCache(DefaultCacheEntries)
 	case cfg.CacheEntries > 0:
 		s.cache = newEstimateCache(cfg.CacheEntries)
+	}
+	switch {
+	case cfg.PlanCacheEntries == 0:
+		s.plans = newPlanCache(DefaultPlanCacheEntries)
+	case cfg.PlanCacheEntries > 0:
+		s.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
 	return s, nil
 }
@@ -71,36 +159,78 @@ func NewService(reg *sit.Registry, cfg Config) (*Service, error) {
 // Registry returns the SIT catalog the service estimates from.
 func (s *Service) Registry() *sit.Registry { return s.reg }
 
-// Estimate answers one SPJ estimation request. It reports whether the answer
-// came from the cache; cached estimates are bit-identical to what
-// recomputation would return, because the cache key pins every input the
-// computation reads (expression, predicates, SIT epoch, table generations)
-// and predicate order is normalized before estimation. The returned Estimate
-// is shared with the cache and must be treated as immutable.
-func (s *Service) Estimate(q cardest.SPJQuery) (cardest.Estimate, bool, error) {
+// Estimate answers one SPJ estimation request and reports which tier
+// answered it. Estimates from every tier are bit-identical: the caches pin
+// every input the computation reads (expression, predicates, SIT set,
+// table generations), predicate order is normalized before estimation, and
+// plan execution replays exactly the float operations cold estimation
+// performs. The returned Estimate is shared with the result cache and must
+// be treated as immutable.
+//
+// Under budget pressure (see Config.ShedQueue) a request that would need a
+// cold estimation may fail with ErrOverloaded instead of queueing on the
+// builder.
+func (s *Service) Estimate(q cardest.SPJQuery) (cardest.Estimate, Tier, error) {
 	if q.Expr == nil {
-		return cardest.Estimate{}, false, fmt.Errorf("serve: request needs a join expression")
+		return cardest.Estimate{}, TierCold, fmt.Errorf("serve: request needs a join expression")
 	}
 	nq := normalize(q)
+
+	// Tier 1: result cache.
+	var resultKey string
 	if s.cache != nil {
-		key, err := s.key(nq)
-		if err != nil {
-			return cardest.Estimate{}, false, err
+		var err error
+		if resultKey, err = s.key(nq); err != nil {
+			return cardest.Estimate{}, TierCold, err
 		}
-		if est, ok := s.cache.get(key); ok {
+		if est, ok := s.cache.get(resultKey); ok {
 			s.hits.Add(1)
-			return est, true, nil
+			return est, TierResult, nil
 		}
 	}
+
+	// Tier 2: plan cache — lock-free. The pin and the result key may
+	// straddle a concurrent publish, but a matching pin proves the plan
+	// resolves the statistics a fresh preparation would, so the executed
+	// result is correct for the pin's snapshot; a result key from an older
+	// epoch merely strands the stored entry.
+	var shape string
+	if s.plans != nil {
+		shape = cardest.ShapeKey(nq.Expr, cardest.Columns(nq.Preds))
+		pin, err := s.reg.PlanPin(nq.Expr)
+		if err != nil {
+			return cardest.Estimate{}, TierCold, err
+		}
+		if plan, ok := s.plans.get(shape, pin); ok {
+			out, err := plan.Execute(nq.Preds)
+			if err != nil {
+				return cardest.Estimate{}, TierPlan, err
+			}
+			s.planHits.Add(1)
+			if s.cache != nil {
+				s.cache.put(resultKey, out)
+			}
+			return out, TierPlan, nil
+		}
+	}
+
+	// Tier 3: cold — shed under pressure, otherwise queue on the builder.
+	if s.cfg.ShedQueue > 0 && s.queued.Load() >= int64(s.cfg.ShedQueue) && underPressure(s.reg.Governor()) {
+		s.sheds.Add(1)
+		return cardest.Estimate{}, TierCold, ErrOverloaded
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+
 	var (
-		out cardest.Estimate
-		hit bool
+		out  cardest.Estimate
+		tier = TierCold
 	)
 	err := s.reg.WithBuilder(func(b *sit.Builder) error {
 		// Re-key and re-check under the builder lock: epoch swaps happen
-		// under this lock, so the key is now stable against refreshes, and a
-		// request that queued behind an identical miss finds that miss's
-		// freshly published entry here instead of recomputing it.
+		// under this lock, so the keys are now stable against refreshes, and
+		// a request that queued behind an identical miss finds that miss's
+		// freshly published result or plan here instead of recomputing it.
 		var key string
 		if s.cache != nil {
 			var err error
@@ -108,7 +238,25 @@ func (s *Service) Estimate(q cardest.SPJQuery) (cardest.Estimate, bool, error) {
 				return err
 			}
 			if est, ok := s.cache.get(key); ok {
-				out, hit = est, true
+				out, tier = est, TierResult
+				return nil
+			}
+		}
+		var pin string
+		if s.plans != nil {
+			var err error
+			if pin, err = s.reg.PlanPin(nq.Expr); err != nil {
+				return err
+			}
+			if plan, ok := s.plans.get(shape, pin); ok {
+				est, err := plan.Execute(nq.Preds)
+				if err != nil {
+					return err
+				}
+				out, tier = est, TierPlan
+				if s.cache != nil {
+					s.cache.put(key, out)
+				}
 				return nil
 			}
 		}
@@ -116,8 +264,15 @@ func (s *Service) Estimate(q cardest.SPJQuery) (cardest.Estimate, bool, error) {
 		if err != nil {
 			return err
 		}
-		if out, err = est.Estimate(nq); err != nil {
+		plan, err := est.Prepare(nq.Expr, cardest.Columns(nq.Preds))
+		if err != nil {
 			return err
+		}
+		if out, err = plan.Execute(nq.Preds); err != nil {
+			return err
+		}
+		if s.plans != nil {
+			s.plans.put(shape, pin, plan)
 		}
 		if s.cache != nil {
 			s.cache.put(key, out)
@@ -125,14 +280,23 @@ func (s *Service) Estimate(q cardest.SPJQuery) (cardest.Estimate, bool, error) {
 		return nil
 	})
 	if err != nil {
-		return cardest.Estimate{}, false, err
+		return cardest.Estimate{}, TierCold, err
 	}
-	if hit {
+	switch tier {
+	case TierResult:
 		s.hits.Add(1)
-	} else {
+	case TierPlan:
+		s.planHits.Add(1)
+	default:
 		s.misses.Add(1)
 	}
-	return out, hit, nil
+	return out, tier, nil
+}
+
+// underPressure reports whether the governor is too committed to admit a
+// nominal build reservation: the budget-pressure half of the shed decision.
+func underPressure(g *mem.Governor) bool {
+	return !g.Unlimited() && g.Budget()-g.Used() < shedProbeBytes
 }
 
 // estimator returns the estimator for the registry's current epoch,
@@ -220,10 +384,23 @@ func normalize(q cardest.SPJQuery) cardest.SPJQuery {
 
 // Stats is a point-in-time view of the serving layer for monitoring.
 type Stats struct {
-	Hits     int64             `json:"hits"`
-	Misses   int64             `json:"misses"`
-	HitRate  float64           `json:"hit_rate"`
-	Entries  int               `json:"entries"`
+	// Hits counts result-cache hits; PlanHits counts result misses answered
+	// by executing a cached plan; Misses counts cold estimations. HitRate is
+	// (Hits + PlanHits) over all answered requests — the fraction that
+	// skipped SIT matching.
+	Hits     int64   `json:"hits"`
+	PlanHits int64   `json:"plan_hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	// Entries / PlanEntries are the resident result and plan counts;
+	// PlanEvictions counts plans removed by stale pins or LRU pressure.
+	Entries       int   `json:"entries"`
+	PlanEntries   int   `json:"plan_entries"`
+	PlanEvictions int64 `json:"plan_evictions"`
+	// Sheds counts cold requests rejected with ErrOverloaded; Queued is the
+	// current cold-queue depth the shed decision reads.
+	Sheds    int64             `json:"sheds"`
+	Queued   int64             `json:"queued"`
 	Registry sit.RegistryStats `json:"registry"`
 }
 
@@ -231,14 +408,21 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Hits:     s.hits.Load(),
+		PlanHits: s.planHits.Load(),
 		Misses:   s.misses.Load(),
+		Sheds:    s.sheds.Load(),
+		Queued:   s.queued.Load(),
 		Registry: s.reg.Stats(),
 	}
-	if total := st.Hits + st.Misses; total > 0 {
-		st.HitRate = float64(st.Hits) / float64(total)
+	if total := st.Hits + st.PlanHits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits+st.PlanHits) / float64(total)
 	}
 	if s.cache != nil {
 		st.Entries = s.cache.len()
+	}
+	if s.plans != nil {
+		st.PlanEntries = s.plans.len()
+		st.PlanEvictions = s.plans.evicted()
 	}
 	return st
 }

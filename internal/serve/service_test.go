@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/sitstats/sits/internal/cardest"
 	"github.com/sitstats/sits/internal/data"
@@ -78,68 +80,116 @@ func testQueries(t *testing.T) []cardest.SPJQuery {
 	}
 }
 
-// TestCachedEstimatesBitIdentical asserts the core serving guarantee: the
-// cache never changes an answer. For every query the miss, the subsequent
-// hit, an uncached service's answer, and a permuted-predicate request must
-// all be bit-identical — across execution widths and memory budgets.
-func TestCachedEstimatesBitIdentical(t *testing.T) {
-	configs := []sit.Config{
-		sit.DefaultConfig(),
-		func() sit.Config {
-			c := sit.DefaultConfig()
-			c.Parallelism = 2
-			c.MemBudget = 64 << 20
-			return c
-		}(),
+// shifted returns the query with every predicate range moved by delta: the
+// same shape (expression + columns) with different constants, so a service
+// that has the shape's plan cached answers it from the plan tier.
+func shifted(q cardest.SPJQuery, delta int64) cardest.SPJQuery {
+	preds := append([]cardest.Predicate(nil), q.Preds...)
+	for i := range preds {
+		preds[i].Lo += delta
+		preds[i].Hi += delta
 	}
-	var baseline []cardest.Estimate
+	return cardest.SPJQuery{Expr: q.Expr, Preds: preds}
+}
+
+// quarterWS is roughly a quarter of the default chain database's working set
+// (2900 rows x 4 columns x 8 bytes): tight enough that builds and estimates
+// run through the governor's spill machinery.
+const quarterWS = 24 << 10
+
+// TestTieredEstimatesBitIdentical asserts the core serving guarantee: no
+// tier ever changes an answer. For every query the cold estimate, the result
+// hit, the plan hit (same shape, shifted constants), a permuted-predicate
+// request, and an uncached service's answers must all be bit-identical —
+// across execution widths {1, 4} and memory budgets {unlimited, quarter-WS}.
+func TestTieredEstimatesBitIdentical(t *testing.T) {
+	var configs []sit.Config
+	for _, par := range []int{1, 4} {
+		for _, budget := range []int64{0, quarterWS} {
+			c := sit.DefaultConfig()
+			c.Parallelism = par
+			c.MemBudget = budget
+			configs = append(configs, c)
+		}
+	}
+	var baseline, baselineShift []cardest.Estimate
 	for ci, scfg := range configs {
 		cached, _ := newChainService(t, scfg, Config{})
-		uncached, err := NewService(cached.Registry(), Config{CacheEntries: -1})
+		uncached, err := NewService(cached.Registry(), Config{CacheEntries: -1, PlanCacheEntries: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for qi, q := range testQueries(t) {
-			miss, wasHit, err := cached.Estimate(q)
+			cold, tier, err := cached.Estimate(q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if wasHit {
-				t.Fatalf("config %d query %d: first request reported a cache hit", ci, qi)
+			if tier != TierCold {
+				t.Fatalf("config %d query %d: first request served from %v, want cold", ci, qi, tier)
 			}
-			hit, wasHit, err := cached.Estimate(q)
+			hit, tier, err := cached.Estimate(q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !wasHit {
-				t.Fatalf("config %d query %d: second request missed the cache", ci, qi)
+			if tier != TierResult {
+				t.Fatalf("config %d query %d: repeat request served from %v, want result-hit", ci, qi, tier)
 			}
-			raw, _, err := uncached.Estimate(q)
+			raw, tier, err := uncached.Estimate(q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(miss, hit) || !reflect.DeepEqual(miss, raw) {
-				t.Fatalf("config %d query %d: cached and uncached estimates diverge:\nmiss %+v\nhit  %+v\nraw  %+v",
-					ci, qi, miss, hit, raw)
+			if tier != TierCold {
+				t.Fatalf("config %d query %d: uncached service answered from %v", ci, qi, tier)
+			}
+			if !reflect.DeepEqual(cold, hit) || !reflect.DeepEqual(cold, raw) {
+				t.Fatalf("config %d query %d: cached and uncached estimates diverge:\ncold %+v\nhit  %+v\nraw  %+v",
+					ci, qi, cold, hit, raw)
 			}
 			if len(q.Preds) > 1 {
 				perm := cardest.SPJQuery{Expr: q.Expr, Preds: []cardest.Predicate{q.Preds[1], q.Preds[0]}}
-				got, wasHit, err := cached.Estimate(perm)
+				got, tier, err := cached.Estimate(perm)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !wasHit {
-					t.Fatalf("config %d query %d: permuted predicates missed the shared entry", ci, qi)
+				if tier != TierResult {
+					t.Fatalf("config %d query %d: permuted predicates served from %v, want result-hit", ci, qi, tier)
 				}
-				if !reflect.DeepEqual(got, miss) {
+				if !reflect.DeepEqual(got, cold) {
 					t.Fatalf("config %d query %d: permuted predicates changed the estimate", ci, qi)
+				}
+			}
+			// Same shape, new constants: must execute the cached plan, and the
+			// probe must be bit-identical to a full cold estimation.
+			var planned cardest.Estimate
+			if len(q.Preds) > 0 {
+				qv := shifted(q, 7)
+				var tier Tier
+				planned, tier, err = cached.Estimate(qv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tier != TierPlan {
+					t.Fatalf("config %d query %d: shifted constants served from %v, want plan-hit", ci, qi, tier)
+				}
+				rawShift, _, err := uncached.Estimate(qv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(planned, rawShift) {
+					t.Fatalf("config %d query %d: plan-hit diverges from cold estimation:\nplan %+v\ncold %+v",
+						ci, qi, planned, rawShift)
+				}
+				// The plan tier populates the result cache too.
+				if _, tier, err := cached.Estimate(qv); err != nil || tier != TierResult {
+					t.Fatalf("config %d query %d: repeat of plan-hit served from %v err=%v", ci, qi, tier, err)
 				}
 			}
 			// Estimates must not depend on the build configuration either.
 			if ci == 0 {
-				baseline = append(baseline, miss)
-			} else if !reflect.DeepEqual(miss, baseline[qi]) {
-				t.Fatalf("query %d: estimate differs between configs:\n%+v\n%+v", qi, miss, baseline[qi])
+				baseline = append(baseline, cold)
+				baselineShift = append(baselineShift, planned)
+			} else if !reflect.DeepEqual(cold, baseline[qi]) || !reflect.DeepEqual(planned, baselineShift[qi]) {
+				t.Fatalf("query %d: estimate differs between configs:\n%+v\n%+v", qi, cold, baseline[qi])
 			}
 		}
 	}
@@ -147,19 +197,21 @@ func TestCachedEstimatesBitIdentical(t *testing.T) {
 
 // TestCacheInvalidation asserts both invalidation keys: a base-table
 // mutation (generation bump) and a SIT refresh (epoch bump) each force the
-// next identical request to recompute.
+// next identical request to recompute — through the cold tier, because the
+// plan pinned the mutated tables and is evicted too.
 func TestCacheInvalidation(t *testing.T) {
 	svc, cat := newChainService(t, sit.DefaultConfig(), Config{})
 	q := testQueries(t)[0]
 
-	if _, hit, err := svc.Estimate(q); err != nil || hit {
-		t.Fatalf("first estimate: hit=%v err=%v", hit, err)
+	if _, tier, err := svc.Estimate(q); err != nil || tier != TierCold {
+		t.Fatalf("first estimate: tier=%v err=%v", tier, err)
 	}
-	if _, hit, err := svc.Estimate(q); err != nil || !hit {
-		t.Fatalf("repeat estimate: hit=%v err=%v", hit, err)
+	if _, tier, err := svc.Estimate(q); err != nil || tier != TierResult {
+		t.Fatalf("repeat estimate: tier=%v err=%v", tier, err)
 	}
 
-	// A mutation anywhere in the query's tables moves the generation and the key.
+	// A mutation anywhere in the query's tables moves the generation, the
+	// result key, and the plan pin.
 	t1 := cat.MustTable("T1")
 	row, err := t1.Row(0)
 	if err != nil {
@@ -168,11 +220,12 @@ func TestCacheInvalidation(t *testing.T) {
 	if err := t1.AppendRow(row...); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, err := svc.Estimate(q); err != nil || hit {
-		t.Fatalf("estimate after mutation: hit=%v err=%v (stale entry served)", hit, err)
+	if _, tier, err := svc.Estimate(q); err != nil || tier != TierCold {
+		t.Fatalf("estimate after mutation: tier=%v err=%v (stale entry served)", tier, err)
 	}
 
-	// A refresh that rebuilds SITs moves the epoch and every key with it.
+	// A refresh that rebuilds SITs moves the epoch and the SIT-set generation
+	// of every rebuilt table.
 	n := t1.NumRows() / 2
 	for i := 0; i < n; i++ {
 		if err := t1.AppendRow(row...); err != nil {
@@ -186,17 +239,120 @@ func TestCacheInvalidation(t *testing.T) {
 	if len(rebuilt) == 0 {
 		t.Fatal("refresh rebuilt nothing after 50% growth")
 	}
-	if _, hit, err := svc.Estimate(q); err != nil || hit {
-		t.Fatalf("estimate after refresh: hit=%v err=%v (pre-refresh entry served)", hit, err)
+	if _, tier, err := svc.Estimate(q); err != nil || tier != TierCold {
+		t.Fatalf("estimate after refresh: tier=%v err=%v (pre-refresh entry served)", tier, err)
 	}
 	st := svc.Stats()
-	if st.Hits != 1 || st.Misses != 3 {
-		t.Fatalf("stats %+v, want 1 hit / 3 misses", st)
+	if st.Hits != 1 || st.PlanHits != 0 || st.Misses != 3 {
+		t.Fatalf("stats %+v, want 1 hit / 0 plan hits / 3 misses", st)
+	}
+	// Both invalidations evicted the plan for this shape: once on the data
+	// generation, once on the SIT-set generation.
+	if st.PlanEvictions != 2 {
+		t.Fatalf("plan evictions %d, want 2", st.PlanEvictions)
+	}
+}
+
+// TestPlanInvalidationExact asserts the plan cache's headline property over
+// the result cache: invalidation is exact. Mutations, adoptions, and
+// refreshes evict precisely the plans that pinned the affected tables, and a
+// plan over untouched tables keeps serving across every one of them.
+func TestPlanInvalidationExact(t *testing.T) {
+	svc, cat := newChainService(t, sit.DefaultConfig(), Config{})
+	qA := testQueries(t)[0] // T1 JOIN T2, pred on T2.a
+	qB := cardest.SPJQuery{ // base-table expression over T4 only
+		Expr:  mustExpr(t, "T4"),
+		Preds: []cardest.Predicate{{Table: "T4", Attr: "b", Lo: 0, Hi: 5000}},
+	}
+	expect := func(step string, q cardest.SPJQuery, want Tier) {
+		t.Helper()
+		if _, tier, err := svc.Estimate(q); err != nil || tier != want {
+			t.Fatalf("%s: tier=%v err=%v, want %v", step, tier, err, want)
+		}
+	}
+	appendRow := func(name string) {
+		t.Helper()
+		tbl := cat.MustTable(name)
+		row, err := tbl.Row(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.AppendRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	expect("cold A", qA, TierCold)
+	expect("cold B", qB, TierCold)
+	expect("warm A", shifted(qA, 1), TierPlan)
+	expect("warm B", shifted(qB, 1), TierPlan)
+
+	// Mutating T1 kills exactly the plan pinning T1 (qA); the T4 plan serves on.
+	appendRow("T1")
+	expect("A after T1 mutation", shifted(qA, 2), TierCold)
+	expect("B after T1 mutation", shifted(qB, 2), TierPlan)
+
+	// Adopting a replacement SIT over T2-T3 moves those tables' SIT-set
+	// generations: qA pins T2, so its plan dies; T4 is untouched.
+	sits, _ := svc.Registry().Snapshot()
+	var clone *sit.SIT
+	for _, s := range sits {
+		if s.Spec.Table == "T3" && s.Spec.Expr.NumTables() == 2 {
+			c := *s
+			clone = &c
+		}
+	}
+	if clone == nil {
+		t.Fatal("T2-T3 SIT not found in snapshot")
+	}
+	if err := svc.Registry().Adopt([]*sit.SIT{clone}); err != nil {
+		t.Fatal(err)
+	}
+	expect("A after adopt", shifted(qA, 3), TierCold)
+	expect("B after adopt", shifted(qB, 3), TierPlan)
+
+	// Mutating T4 kills exactly the T4 plan; qA's freshly re-prepared plan
+	// survives.
+	appendRow("T4")
+	expect("B after T4 mutation", shifted(qB, 4), TierCold)
+	expect("A after T4 mutation", shifted(qA, 4), TierPlan)
+
+	// A staleness refresh rebuilds SITs over the grown T2; no SIT spans T4,
+	// so the T4 plan keeps serving across the epoch bump.
+	t2 := cat.MustTable("T2")
+	row, err := t2.Row(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := 0, t2.NumRows()/2; i < n; i++ {
+		if err := t2.AppendRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := svc.Registry().Refresh(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) == 0 {
+		t.Fatal("refresh rebuilt nothing after 50% growth")
+	}
+	expect("A after refresh", shifted(qA, 5), TierCold)
+	expect("B after refresh", shifted(qB, 5), TierPlan)
+
+	st := svc.Stats()
+	if st.Misses != 6 || st.PlanHits != 6 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want 6 cold / 6 plan hits / 0 result hits", st)
+	}
+	if st.PlanEvictions != 4 {
+		t.Fatalf("plan evictions %d, want exactly 4 (T1 mutation, adopt, T4 mutation, refresh)", st.PlanEvictions)
+	}
+	if st.PlanEntries != 2 {
+		t.Fatalf("plan entries %d, want 2", st.PlanEntries)
 	}
 }
 
 // TestCacheSingleFlight fires identical concurrent requests at a cold cache
-// and asserts exactly one recomputes: the rest either hit the fast path or
+// and asserts exactly one recomputes: the rest either hit a fast tier or
 // find the first request's entry when they reach the builder.
 func TestCacheSingleFlight(t *testing.T) {
 	svc, _ := newChainService(t, sit.DefaultConfig(), Config{})
@@ -223,35 +379,154 @@ func TestCacheSingleFlight(t *testing.T) {
 			t.Fatalf("caller %d got a different estimate", i)
 		}
 	}
+	// A racer that reaches tier 2 between the first request's publish and its
+	// own result-cache probe may legitimately score a plan hit; either fast
+	// tier proves it skipped recomputation.
 	st := svc.Stats()
-	if st.Misses != 1 || st.Hits != callers-1 {
-		t.Fatalf("stats %+v, want exactly 1 miss and %d hits", st, callers-1)
+	if st.Misses != 1 || st.Hits+st.PlanHits != callers-1 {
+		t.Fatalf("stats %+v, want exactly 1 miss and %d fast-tier hits", st, callers-1)
 	}
 }
 
-// TestCacheLRUEviction bounds the cache at two entries and asserts the
-// least-recently-used one is evicted.
+// TestCacheLRUEviction bounds the result cache at two entries and asserts
+// the least-recently-used one is evicted — and then answered by the plan
+// tier, whose (shape-keyed) entry is still resident.
 func TestCacheLRUEviction(t *testing.T) {
 	svc, _ := newChainService(t, sit.DefaultConfig(), Config{CacheEntries: 2})
 	qs := testQueries(t)
 	for _, q := range qs[:3] {
-		if _, hit, err := svc.Estimate(q); err != nil || hit {
-			t.Fatalf("cold estimate: hit=%v err=%v", hit, err)
+		if _, tier, err := svc.Estimate(q); err != nil || tier != TierCold {
+			t.Fatalf("cold estimate: tier=%v err=%v", tier, err)
 		}
 	}
 	if n := svc.Stats().Entries; n != 2 {
 		t.Fatalf("cache holds %d entries, want 2", n)
 	}
 	// qs[0] was the LRU victim; qs[2] is still resident.
-	if _, hit, err := svc.Estimate(qs[2]); err != nil || !hit {
-		t.Fatalf("resident entry: hit=%v err=%v", hit, err)
+	if _, tier, err := svc.Estimate(qs[2]); err != nil || tier != TierResult {
+		t.Fatalf("resident entry: tier=%v err=%v", tier, err)
 	}
-	if _, hit, err := svc.Estimate(qs[0]); err != nil || hit {
-		t.Fatalf("evicted entry: hit=%v err=%v", hit, err)
+	if _, tier, err := svc.Estimate(qs[0]); err != nil || tier != TierPlan {
+		t.Fatalf("evicted entry: tier=%v err=%v, want plan-hit fallback", tier, err)
 	}
 }
 
-// TestServiceErrors covers request validation.
+// TestPlanCacheLRU bounds the plan cache at two shapes (result cache off)
+// and asserts LRU eviction forces the evicted shape back through the cold
+// tier.
+func TestPlanCacheLRU(t *testing.T) {
+	svc, _ := newChainService(t, sit.DefaultConfig(), Config{CacheEntries: -1, PlanCacheEntries: 2})
+	qs := testQueries(t)
+	for _, q := range qs[:3] {
+		if _, tier, err := svc.Estimate(q); err != nil || tier != TierCold {
+			t.Fatalf("cold estimate: tier=%v err=%v", tier, err)
+		}
+	}
+	st := svc.Stats()
+	if st.PlanEntries != 2 || st.PlanEvictions != 1 {
+		t.Fatalf("stats %+v, want 2 plan entries and 1 eviction", st)
+	}
+	if _, tier, err := svc.Estimate(qs[2]); err != nil || tier != TierPlan {
+		t.Fatalf("resident plan: tier=%v err=%v", tier, err)
+	}
+	if _, tier, err := svc.Estimate(qs[0]); err != nil || tier != TierCold {
+		t.Fatalf("evicted plan: tier=%v err=%v", tier, err)
+	}
+}
+
+// TestShedOverload exercises the overload path deterministically: with the
+// builder held and the governor starved, a cold request past the queue bound
+// fails fast with ErrOverloaded, queued requests complete once the builder
+// frees, and the fast tiers keep answering throughout.
+func TestShedOverload(t *testing.T) {
+	cat, err := datagen.ChainDB(datagen.DefaultChainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := sit.DefaultConfig()
+	scfg.MemBudget = 1 // any probe fails: the governor is always under pressure
+	reg, err := sit.NewRegistry(cat, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := reg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	svc, err := NewService(reg, Config{ShedQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(t)[0]
+
+	// Occupy the builder so cold requests queue behind it.
+	release := make(chan struct{})
+	held := make(chan struct{})
+	builderDone := make(chan error, 1)
+	go func() {
+		builderDone <- reg.WithBuilder(func(*sit.Builder) error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+
+	// One cold request queues on the held builder.
+	type result struct {
+		est  cardest.Estimate
+		tier Tier
+		err  error
+	}
+	first := make(chan result, 1)
+	go func() {
+		est, tier, err := svc.Estimate(q)
+		first <- result{est, tier, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued on the builder")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next cold request is past the queue bound under pressure: shed.
+	if _, _, err := svc.Estimate(q); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded request returned %v, want ErrOverloaded", err)
+	}
+	if st := svc.Stats(); st.Sheds != 1 {
+		t.Fatalf("stats %+v, want 1 shed", st)
+	}
+
+	// Release the builder: the queued request completes normally.
+	close(release)
+	if err := <-builderDone; err != nil {
+		t.Fatal(err)
+	}
+	r := <-first
+	if r.err != nil || r.tier != TierCold {
+		t.Fatalf("queued request: tier=%v err=%v", r.tier, r.err)
+	}
+
+	// Fast tiers are never shed, even under permanent budget pressure.
+	got, tier, err := svc.Estimate(q)
+	if err != nil || tier != TierResult {
+		t.Fatalf("result tier under pressure: tier=%v err=%v", tier, err)
+	}
+	if !reflect.DeepEqual(got, r.est) {
+		t.Fatal("cached answer diverges from the queued computation")
+	}
+	if _, tier, err := svc.Estimate(shifted(q, 1)); err != nil || tier != TierPlan {
+		t.Fatalf("plan tier under pressure: tier=%v err=%v", tier, err)
+	}
+	if st := svc.Stats(); st.Sheds != 1 || st.Queued != 0 {
+		t.Fatalf("final stats %+v, want 1 shed and an empty queue", st)
+	}
+}
+
+// TestServiceErrors covers request and configuration validation.
 func TestServiceErrors(t *testing.T) {
 	svc, _ := newChainService(t, sit.DefaultConfig(), Config{})
 	if _, _, err := svc.Estimate(cardest.SPJQuery{}); err == nil {
@@ -266,5 +541,8 @@ func TestServiceErrors(t *testing.T) {
 	}
 	if _, err := NewService(nil, Config{}); err == nil {
 		t.Fatal("nil registry must fail")
+	}
+	if _, err := NewService(svc.Registry(), Config{ShedQueue: -1}); err == nil {
+		t.Fatal("negative shed queue must fail")
 	}
 }

@@ -3,6 +3,8 @@ package sit
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +57,13 @@ type Registry struct {
 type sitSet struct {
 	epoch uint64
 	sits  map[string]*SIT // cacheKey(spec, method) -> SIT
+	// statGen counts, per table, the published changes to the SIT subset
+	// mentioning that table: adding, removing, or replacing a SIT bumps the
+	// counter of every table in its generating expression. Prepared estimator
+	// plans pin these counters (plus the tables' data generations), so a
+	// publish that does not touch a plan's tables leaves the plan valid —
+	// the per-table refinement of the all-invalidating epoch.
+	statGen map[string]uint64
 }
 
 // flight is one in-progress single-flighted build.
@@ -77,7 +86,7 @@ func NewRegistry(cat *data.Catalog, cfg Config) (*Registry, error) {
 		inflight: map[string]*flight{},
 		stop:     make(chan struct{}),
 	}
-	r.set.Store(&sitSet{sits: map[string]*SIT{}})
+	r.set.Store(&sitSet{sits: map[string]*SIT{}, statGen: map[string]uint64{}})
 	return r, nil
 }
 
@@ -120,11 +129,39 @@ func (r *Registry) Snapshot() ([]*SIT, uint64) {
 	return out, set.epoch
 }
 
-// publish swaps in a snapshot with the given SIT map and the next epoch.
+// publish swaps in a snapshot with the given SIT map and the next epoch, and
+// bumps the per-table stat generation of every table whose SIT subset
+// changed (an entry added, removed, or replaced by a different *SIT).
 // Callers must hold builderMu, which makes the read-modify-write atomic with
 // respect to other publishers.
 func (r *Registry) publish(sits map[string]*SIT) {
-	r.set.Store(&sitSet{epoch: r.set.Load().epoch + 1, sits: sits})
+	cur := r.set.Load()
+	changed := map[string]bool{}
+	for k, s := range sits { //statcheck:ignore maprange set diff collects into a map, order-independent
+		if old, ok := cur.sits[k]; !ok || old != s {
+			for _, t := range s.Spec.Expr.Tables() {
+				changed[t] = true
+			}
+		}
+	}
+	for k, s := range cur.sits { //statcheck:ignore maprange set diff collects into a map, order-independent
+		if _, ok := sits[k]; !ok {
+			for _, t := range s.Spec.Expr.Tables() {
+				changed[t] = true
+			}
+		}
+	}
+	statGen := cur.statGen
+	if len(changed) > 0 {
+		statGen = make(map[string]uint64, len(cur.statGen)+len(changed))
+		for t, g := range cur.statGen { //statcheck:ignore maprange map-to-map copy, order-independent
+			statGen[t] = g
+		}
+		for t := range changed { //statcheck:ignore maprange per-key counter bumps, order-independent
+			statGen[t]++
+		}
+	}
+	r.set.Store(&sitSet{epoch: cur.epoch + 1, sits: sits, statGen: statGen})
 }
 
 // cloneSet copies the current served map for copy-on-write publication.
@@ -136,6 +173,44 @@ func (r *Registry) cloneSet() map[string]*SIT {
 		next[k] = s
 	}
 	return next
+}
+
+// StatGen returns the table's SIT-set generation: the number of published
+// changes (additions, removals, replacements) to the served SITs whose
+// generating expression mentions the table. Lock-free.
+func (r *Registry) StatGen(table string) uint64 {
+	return r.set.Load().statGen[table]
+}
+
+// PlanPin renders the invalidation fingerprint a prepared estimator plan
+// pins: for every table of the expression, the table's data generation and
+// its SIT-set generation, read from one snapshot. Equal pins mean a fresh
+// preparation would resolve the identical statistics — neither the data nor
+// the SIT subset over any of the plan's tables changed — so a cached plan
+// with a matching pin probes bit-identically to cold estimation. A publish
+// or mutation that does not touch the plan's tables leaves its pin (and the
+// plan) valid, unlike the epoch-keyed result cache, which strands all
+// entries on every publish.
+func (r *Registry) PlanPin(expr *query.Expr) (string, error) {
+	if expr == nil {
+		return "", fmt.Errorf("sit: PlanPin needs an expression")
+	}
+	set := r.set.Load()
+	cat := r.builder.Catalog()
+	var sb strings.Builder
+	for _, name := range expr.Tables() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(name)
+		sb.WriteByte('@')
+		sb.WriteString(strconv.FormatUint(t.Generation(), 10))
+		sb.WriteByte('#')
+		sb.WriteString(strconv.FormatUint(set.statGen[name], 10))
+		sb.WriteByte(0)
+	}
+	return sb.String(), nil
 }
 
 // Get returns the served SIT for the spec, building and publishing it on

@@ -52,15 +52,30 @@ func NewRegistry(cat *Catalog, cfg Config) (*Registry, error) {
 // --- Estimate serving ---
 
 // Service answers SPJ estimation requests from a registry's served SIT set
-// through a bounded LRU cache keyed on canonical query forms; see
-// serve.Service.
+// through the three-tier serving pipeline (result cache, plan cache, cold
+// estimation); see serve.Service.
 type Service = serve.Service
 
-// ServeConfig parameterizes the serving layer.
+// ServeConfig parameterizes the serving layer: result-cache and plan-cache
+// bounds plus the overload shed threshold.
 type ServeConfig = serve.Config
 
 // ServeStats is a point-in-time view of the serving layer.
 type ServeStats = serve.Stats
+
+// Tier identifies which serving tier answered an estimation request.
+type Tier = serve.Tier
+
+// The serving tiers, cheapest first.
+const (
+	TierCold   = serve.TierCold
+	TierPlan   = serve.TierPlan
+	TierResult = serve.TierResult
+)
+
+// ErrOverloaded is returned by Service.Estimate when a cold request is shed
+// under budget pressure instead of queueing on the builder.
+var ErrOverloaded = serve.ErrOverloaded
 
 // NewService creates a serving layer over the registry.
 func NewService(reg *Registry, cfg ServeConfig) (*Service, error) {
